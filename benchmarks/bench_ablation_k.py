@@ -1,0 +1,82 @@
+"""A2 — Ablation of the coverage / variability trade-off (section 2.6).
+
+The paper clusters with k = 300 and keeps the 100 heaviest clusters:
+compared to clustering directly with k = 100 (100% coverage), the
+over-clustered selection trades a little coverage for markedly lower
+within-cluster variability.  This bench quantifies that trade-off.
+"""
+
+from repro.core import select_prominent_phases
+from repro.io import format_table
+from repro.stats import kmeans
+from repro.synth import generator
+
+import numpy as np
+
+
+def _within_variability(points, clustering, cluster_ids):
+    """Mean within-cluster standard distance over the given clusters."""
+    total, count = 0.0, 0
+    for cluster in cluster_ids:
+        rows = points[clustering.labels == cluster]
+        if len(rows) == 0:
+            continue
+        center = rows.mean(axis=0)
+        total += float(np.linalg.norm(rows - center, axis=1).mean()) * len(rows)
+        count += len(rows)
+    return total / count if count else 0.0
+
+
+def bench_ablation_k(benchmark, result, config, report):
+    points = result.space
+    n_prominent = config.n_prominent
+    rows = []
+    outcomes = {}
+    for k in (n_prominent, config.n_clusters, 2 * config.n_clusters):
+        clustering = (
+            result.clustering
+            if k == config.n_clusters
+            else kmeans(
+                points,
+                k,
+                restarts=2,
+                max_iter=config.kmeans_max_iter,
+                rng=generator("ablation-k", k),
+            )
+        )
+        prominent = select_prominent_phases(points, clustering, n_prominent)
+        variability = _within_variability(
+            points, clustering, prominent.cluster_ids
+        )
+        outcomes[k] = (prominent.coverage, variability)
+        rows.append(
+            [k, f"{100 * prominent.coverage:.1f}%", f"{variability:.3f}"]
+        )
+
+    def timed():
+        clustering = kmeans(
+            points,
+            n_prominent,
+            restarts=1,
+            max_iter=config.kmeans_max_iter,
+            rng=generator("ablation-k-timed", 0),
+        )
+        return select_prominent_phases(points, clustering, n_prominent)
+
+    benchmark.pedantic(timed, rounds=1, iterations=1)
+
+    report(
+        "ablation_k.txt",
+        format_table(
+            ["k", f"coverage of top-{n_prominent}", "within-cluster variability"],
+            rows,
+        ),
+    )
+
+    cov_small, var_small = outcomes[n_prominent]
+    cov_paper, var_paper = outcomes[config.n_clusters]
+    # Clustering directly at k = n_prominent gives full coverage...
+    assert cov_small > 0.999
+    # ...while over-clustering trades coverage for lower variability.
+    assert cov_paper < cov_small
+    assert var_paper < var_small

@@ -1,0 +1,83 @@
+"""A5 — Ablation: microarchitecture independence of the phase structure.
+
+The methodology's selling point is that one characterization serves
+*any* target machine.  This ablation reruns the section 5.3 phase-based
+CPI reconstruction with the same cluster representatives on three
+different machines (varying caches, width, and predictor) and checks
+the accuracy holds on all of them.
+"""
+
+import numpy as np
+
+from repro.analysis import PhaseBasedSimulation
+from repro.io import format_table
+from repro.uarch import CacheConfig, MachineConfig
+
+SUBSET = (
+    ("SPECint2006", "astar"),
+    ("SPECfp2006", "wrf"),
+    ("BioPerf", "hmmer"),
+    ("BMW", "speak"),
+    ("MediaBenchII", "h264"),
+)
+
+MACHINES = (
+    MachineConfig(name="baseline"),
+    MachineConfig(
+        name="small-core",
+        width=2,
+        window=32,
+        l1d=CacheConfig(8 * 1024, 64, 2),
+        l2=CacheConfig(64 * 1024, 64, 4),
+        l1i=CacheConfig(8 * 1024, 64, 2),
+        predictor="bimodal",
+        l2_penalty=60,
+    ),
+    MachineConfig(
+        name="big-core",
+        width=8,
+        window=256,
+        l1d=CacheConfig(64 * 1024, 64, 8),
+        l2=CacheConfig(1024 * 1024, 64, 16),
+        l1i=CacheConfig(64 * 1024, 64, 8),
+        l2_penalty=200,
+    ),
+)
+
+
+def bench_ablation_machines(benchmark, result, config, report):
+    def evaluate(machine):
+        sim = PhaseBasedSimulation(result, config, machine)
+        errors = []
+        cpis = {}
+        for suite, name in SUBSET:
+            est = sim.benchmark_cpi(suite, name)
+            true = sim.true_benchmark_cpi(suite, name, max_intervals=30)
+            errors.append(abs(est - true) / true)
+            cpis[f"{suite}/{name}"] = (true, est)
+        return cpis, errors
+
+    # Time one machine's full evaluation.
+    benchmark.pedantic(lambda: evaluate(MACHINES[0]), rounds=1, iterations=1)
+
+    rows = []
+    mean_errors = {}
+    for machine in MACHINES:
+        cpis, errors = evaluate(machine)
+        mean_errors[machine.name] = float(np.mean(errors))
+        for key, (true, est) in cpis.items():
+            rows.append(
+                [machine.name, key, f"{true:.2f}", f"{est:.2f}",
+                 f"{100 * abs(est - true) / true:.1f}%"]
+            )
+    text = format_table(
+        ["machine", "benchmark", "true CPI", "phase-based CPI", "error"], rows
+    )
+    text += "\n\nmean error per machine: " + ", ".join(
+        f"{name}={100 * err:.1f}%" for name, err in mean_errors.items()
+    )
+    report("ablation_machines.txt", text)
+
+    # The same clustering serves every machine accurately.
+    for name, err in mean_errors.items():
+        assert err < 0.12, name

@@ -1,0 +1,67 @@
+"""A1 — Ablation of the interval-sampling step (paper section 2.4).
+
+The paper samples a *fixed* number of intervals per benchmark so every
+benchmark weighs equally.  This ablation builds the alternative —
+sampling proportional to each benchmark's dynamic length — and shows
+that the longest benchmarks (fasta, calculix, gamess) then dominate
+cluster weights while short benchmarks all but vanish.
+"""
+
+import numpy as np
+
+from repro.config import AnalysisConfig
+from repro.core import build_dataset
+from repro.io import format_table
+from repro.suites import all_benchmarks
+
+
+def _proportional_counts(benches, total):
+    lengths = np.array([b.n_intervals for b in benches], dtype=np.float64)
+    raw = lengths / lengths.sum() * total
+    return {b.key: max(1, int(round(r))) for b, r in zip(benches, raw)}
+
+
+def bench_ablation_sampling(benchmark, report):
+    cfg = AnalysisConfig.small()
+    benches = all_benchmarks()
+    total = cfg.intervals_per_benchmark * len(benches)
+    counts = _proportional_counts(benches, total)
+
+    equal = build_dataset(benches, cfg)
+    proportional = benchmark.pedantic(
+        lambda: build_dataset(benches, cfg, counts=counts),
+        rounds=1,
+        iterations=1,
+    )
+
+    def weight_of(ds, key):
+        return float(np.count_nonzero(ds.benchmark_keys == key)) / len(ds)
+
+    longest = max(benches, key=lambda b: b.n_intervals)  # calculix
+    rows = []
+    for b in sorted(benches, key=lambda b: -b.n_intervals)[:5]:
+        rows.append(
+            [
+                b.key,
+                b.n_intervals,
+                f"{100 * weight_of(equal, b.key):.2f}%",
+                f"{100 * weight_of(proportional, b.key):.2f}%",
+            ]
+        )
+    text = format_table(
+        ["benchmark", "intervals", "weight (equal)", "weight (proportional)"], rows
+    )
+    top5 = sum(
+        weight_of(proportional, b.key)
+        for b in sorted(benches, key=lambda b: -b.n_intervals)[:5]
+    )
+    text += f"\n\ntop-5 longest benchmarks hold {100 * top5:.1f}% of the"
+    text += " proportional data set vs 6.5% under equal sampling"
+    report("ablation_sampling.txt", text)
+
+    # Under equal sampling every benchmark weighs 1/77.
+    assert weight_of(equal, longest.key) == 1 / 77
+    # Without it, the longest benchmark dominates...
+    assert weight_of(proportional, longest.key) > 5 / 77
+    # ...and the five longest hold more than a third of the data set.
+    assert top5 > 1 / 3

@@ -1,0 +1,45 @@
+"""X1 — Extension: benchmark drift from CPU2000 to CPU2006.
+
+The paper's related work flags benchmark drift (Yi et al., ICS 2006) as
+a reason to keep characterizing new suites.  With both SPEC generations
+in one workload space, we measure it: the centroid displacement of each
+same-workload pair (bzip2, gcc, mcf, perl) relative to the typical
+distance between unrelated benchmarks.
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    GENERATION_PAIRS,
+    generation_drift,
+    typical_benchmark_distance,
+)
+from repro.io import format_table
+
+
+def bench_ext_generation_drift(benchmark, result, report):
+    drift = benchmark(lambda: generation_drift(result))
+    yardstick = typical_benchmark_distance(
+        result, suites=("SPECint2000", "SPECint2006", "SPECfp2000", "SPECfp2006")
+    )
+
+    rows = [
+        [
+            f"{old[1]} ({old[0]})",
+            f"{new[1]} ({new[0]})",
+            f"{drift[f'{new[0]}/{new[1]}']:.2f}",
+            f"{drift[f'{new[0]}/{new[1]}'] / yardstick:.2f}",
+        ]
+        for old, new in GENERATION_PAIRS
+    ]
+    text = format_table(
+        ["CPU2000 benchmark", "CPU2006 successor", "drift", "vs typical pair"], rows
+    )
+    text += f"\n\ntypical unrelated-pair distance: {yardstick:.2f}"
+    report("ext_generation_drift.txt", text)
+
+    values = np.array([drift[f"{new[0]}/{new[1]}"] for _, new in GENERATION_PAIRS])
+    # Successors drift, but stay closer than unrelated benchmark pairs:
+    # they are evolved versions of the same workload, not new ones.
+    assert (values > 0).all()
+    assert np.median(values) < yardstick

@@ -1,0 +1,70 @@
+"""X3 — Extension: performance prediction from inherent similarity.
+
+Reference [13] of the paper (Hoste et al., PACT 2006): predict an
+unseen benchmark's performance from the benchmarks nearest to it in
+the microarchitecture-independent workload space.  The prediction
+works exactly where the paper says behaviours are shared — and fails
+for the unique BioPerf behaviours, which is the flip side of the
+uniqueness result: a suite nothing resembles cannot be predicted, so
+it must be simulated.
+"""
+
+import numpy as np
+
+from repro.analysis import SimilarityPredictor
+from repro.io import format_table
+from repro.uarch import MachineConfig
+
+#: Benchmarks whose behaviour other workloads share (archetype users).
+SHARED = (
+    ("MediaBenchII", "h264"),
+    ("SPECint2006", "h264ref"),
+    ("BMW", "speak"),
+    ("BMW", "face"),
+    ("SPECint2006", "hmmer"),
+)
+
+#: The uniqueness champions — nothing else behaves like them.
+UNIQUE = (
+    ("BioPerf", "grappa"),
+    ("BioPerf", "phylip"),
+)
+
+
+def bench_ext_prediction(benchmark, result, config, report):
+    predictor = SimilarityPredictor(result, config, MachineConfig())
+
+    def run(pairs):
+        out = {}
+        for suite, name in pairs:
+            out[(suite, name)] = predictor.prediction_error(suite, name)
+        return out
+
+    shared = benchmark.pedantic(lambda: run(SHARED), rounds=1, iterations=1)
+    unique = run(UNIQUE)
+
+    rows = []
+    for group, data in (("shared", shared), ("unique", unique)):
+        for (suite, name), (pred, true, err) in data.items():
+            rows.append(
+                [group, f"{suite}/{name}", f"{true:.2f}", f"{pred:.2f}",
+                 f"{100 * err:.1f}%"]
+            )
+    text = format_table(
+        ["behaviour", "benchmark", "true CPI", "predicted CPI", "error"], rows
+    )
+    shared_errs = [err for _, _, err in shared.values()]
+    unique_errs = [err for _, _, err in unique.values()]
+    text += (
+        f"\n\nmean error, shared-behaviour benchmarks: {100 * np.mean(shared_errs):.1f}%"
+        f"\nmean error, unique-behaviour benchmarks: {100 * np.mean(unique_errs):.1f}%"
+        "\n\nunique behaviour cannot be predicted from other workloads -"
+        "\nthe flip side of Figure 6, and the reason BioPerf earns its"
+        "\nsimulation time."
+    )
+    report("ext_prediction.txt", text)
+
+    # Shared behaviour predicts accurately...
+    assert np.mean(shared_errs) < 0.10
+    # ...unique behaviour does not, by a wide margin.
+    assert np.mean(unique_errs) > 3 * np.mean(shared_errs)

@@ -1,0 +1,61 @@
+"""E4 — Figures 2 and 3: the prominent phases as kiviat pages.
+
+Renders every prominent phase — weight, kiviat over the GA-selected key
+characteristics, composition pie, benchmark list — grouped into the
+paper's three sections (benchmark-specific, suite-specific, mixed),
+and checks the structural claims: substantial total coverage (paper:
+87.8%) and all three cluster groups populated.
+"""
+
+from repro.analysis import ClusterKind, cluster_compositions, group_by_kind
+from repro.io import format_table
+from repro.viz import (
+    render_prominent_phase_pages,
+    write_report_index,
+    write_workload_space_map,
+)
+
+
+def bench_fig2_fig3_pages(benchmark, result, output_dir, report):
+    pages = benchmark.pedantic(
+        lambda: render_prominent_phase_pages(
+            result, output_dir / "kiviat", prefix="fig2_fig3"
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    scatter = write_workload_space_map(result, output_dir / "kiviat" / "workload_space.svg")
+    index = write_report_index(
+        result, output_dir / "kiviat", svg_pages=list(pages) + [scatter]
+    )
+
+    compositions = cluster_compositions(result.dataset, result.clustering)
+    by_id = {c.cluster_id: c for c in compositions}
+    groups = group_by_kind(
+        [by_id[int(c)] for c in result.prominent.cluster_ids]
+    )
+    rows = [
+        [kind.value, len(groups[kind]),
+         f"{100 * sum(c.weight for c in groups[kind]):.1f}%"]
+        for kind in ClusterKind
+    ]
+    text = format_table(["cluster group", "prominent phases", "weight"], rows)
+    text += (
+        f"\n\nprominent phases: {len(result.prominent)}"
+        f"\ntotal coverage: {100 * result.prominent.coverage:.1f}%"
+        f" (paper: 87.8%)"
+        f"\nretained components: {result.n_components}"
+        f" explaining {100 * result.explained_variance:.1f}% (paper: 85.4%)"
+        f"\nSVG pages: {', '.join(p.name for p in pages)}"
+        f"\nworkload-space map: {scatter.name}; index: {index.name}"
+    )
+    report("fig2_fig3_summary.txt", text)
+
+    assert index.exists() and scatter.exists()
+    assert len(pages) >= 2
+    assert all(p.exists() and p.stat().st_size > 500 for p in pages)
+    # The paper's three cluster groups all occur among prominent phases.
+    populated = [kind for kind in ClusterKind if groups[kind]]
+    assert len(populated) >= 2, populated
+    # Substantial workload coverage by the prominent phases.
+    assert result.prominent.coverage > 0.5

@@ -1,0 +1,38 @@
+"""E5 — Figure 4: workload-space coverage per benchmark suite.
+
+Paper shape: SPEC CPU2006 covers the largest part of the workload
+space (more than CPU2000, for both int and fp); the domain-specific
+suites (BioPerf, BMW, MediaBench II) cover a much narrower part.
+"""
+
+from repro.analysis import suite_coverage
+from repro.suites import SUITE_ORDER
+from repro.viz import ascii_bar_chart, bar_chart_svg
+
+
+def bench_fig4_coverage(benchmark, dataset, result, output_dir, report):
+    coverage = benchmark(
+        lambda: suite_coverage(dataset, result.clustering, suites=SUITE_ORDER)
+    )
+
+    chart = ascii_bar_chart({s: float(coverage[s]) for s in SUITE_ORDER})
+    report(
+        "fig4_coverage.txt",
+        "clusters (out of %d non-empty) touched per suite\n\n" % result.clustering.k
+        + "\n".join(chart),
+    )
+    (output_dir / "fig4_coverage.svg").write_text(
+        bar_chart_svg(
+            {s: float(coverage[s]) for s in SUITE_ORDER},
+            title="Figure 4 - workload space coverage per benchmark suite",
+        )
+    )
+
+    assert coverage["SPECint2006"] > coverage["SPECint2000"]
+    assert coverage["SPECfp2006"] > coverage["SPECfp2000"]
+    spec06 = coverage["SPECint2006"] + coverage["SPECfp2006"]
+    for domain in ("BMW", "MediaBenchII", "BioPerf"):
+        assert coverage[domain] < spec06, domain
+    # BMW and MediaBench II are the narrowest suites.
+    narrowest = min(coverage, key=coverage.get)
+    assert narrowest in ("BMW", "MediaBenchII")

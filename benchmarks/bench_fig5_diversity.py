@@ -1,0 +1,41 @@
+"""E6 — Figure 5: cumulative coverage per suite vs. number of clusters.
+
+Paper shape: the domain-specific suites reach high coverage with very
+few clusters (low diversity); the SPEC CPU suites need many more, and
+CPU2006 needs slightly more than CPU2000 (its diversity is larger).
+"""
+
+from repro.analysis import clusters_to_cover, cumulative_coverage
+from repro.io import format_table
+from repro.suites import SUITE_ORDER
+from repro.viz import ascii_curve_table, line_chart_svg
+
+
+def bench_fig5_diversity(benchmark, dataset, result, output_dir, report):
+    curves = benchmark(
+        lambda: cumulative_coverage(dataset, result.clustering, suites=SUITE_ORDER)
+    )
+
+    checkpoints = [1, 2, 5, 10, 20, 40, 80]
+    table = "\n".join(ascii_curve_table(curves, checkpoints))
+    need = {s: clusters_to_cover(curves[s], 0.9) for s in SUITE_ORDER}
+    need_table = format_table(
+        ["suite", "clusters for 90% coverage"],
+        [[s, need[s]] for s in SUITE_ORDER],
+    )
+    report("fig5_diversity.txt", table + "\n\n" + need_table)
+    (output_dir / "fig5_diversity.svg").write_text(
+        line_chart_svg(
+            curves,
+            title="Figure 5 - cumulative coverage per suite",
+            max_x=100,
+        )
+    )
+
+    # Domain-specific suites are the least diverse.
+    for domain in ("BMW", "MediaBenchII"):
+        for general in ("SPECint2006", "SPECfp2006", "SPECint2000", "SPECfp2000"):
+            assert need[domain] < need[general], (domain, general)
+    # CPU2006 is (at least slightly) more diverse than CPU2000.
+    assert need["SPECint2006"] >= need["SPECint2000"]
+    assert need["SPECfp2006"] >= need["SPECfp2000"]

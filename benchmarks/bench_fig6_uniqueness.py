@@ -1,0 +1,41 @@
+"""E7 — Figure 6: fraction of unique behaviour per benchmark suite.
+
+Paper shape: BioPerf exhibits by far the most unique behaviour (~65%);
+the floating-point SPEC suites are more unique than the integer ones
+(for both generations); MediaBench II and BMW show substantially less
+unique behaviour than CPU2006 and BioPerf.
+"""
+
+from repro.analysis import suite_uniqueness
+from repro.suites import SUITE_ORDER
+from repro.viz import ascii_bar_chart, bar_chart_svg
+
+
+def bench_fig6_uniqueness(benchmark, dataset, result, output_dir, report):
+    uniqueness = benchmark(
+        lambda: suite_uniqueness(dataset, result.clustering, suites=SUITE_ORDER)
+    )
+
+    chart = ascii_bar_chart(
+        {s: 100 * uniqueness[s] for s in SUITE_ORDER}, fmt="{:.0f}%"
+    )
+    report("fig6_uniqueness.txt", "\n".join(chart))
+    (output_dir / "fig6_uniqueness.svg").write_text(
+        bar_chart_svg(
+            {s: round(100 * uniqueness[s]) for s in SUITE_ORDER},
+            title="Figure 6 - fraction of unique behaviour per suite",
+            unit="%",
+        )
+    )
+
+    # BioPerf is the uniqueness champion.
+    for suite in SUITE_ORDER:
+        if suite != "BioPerf":
+            assert uniqueness["BioPerf"] > uniqueness[suite], suite
+    assert uniqueness["BioPerf"] > 0.4
+    # fp more unique than int, both generations.
+    assert uniqueness["SPECfp2000"] > uniqueness["SPECint2000"]
+    assert uniqueness["SPECfp2006"] > uniqueness["SPECint2006"]
+    # BMW and MediaBench II are substantially less unique than BioPerf.
+    assert uniqueness["BMW"] < 0.5 * uniqueness["BioPerf"]
+    assert uniqueness["MediaBenchII"] < 0.7 * uniqueness["BioPerf"]

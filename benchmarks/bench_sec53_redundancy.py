@@ -1,0 +1,61 @@
+"""E10 — Section 5.3, implication 2: which suites are worth simulating?
+
+The paper: "because the MediaBench II and BioMetricsWorkload benchmark
+suites represent much less unique behaviors than CPU2006 and BioPerf
+... it may not be worth the effort to simulate MediaBench II and
+BioMetricsWorkload".  We quantify that as *redundancy*: the fraction of
+each suite already covered by the clusters a reference set populates —
+against SPEC CPU2006 alone and against all four SPEC halves — plus a
+greedy marginal-value ordering of all seven suites.
+"""
+
+from repro.analysis import marginal_value_order, suite_redundancy
+from repro.io import format_table
+from repro.suites import GENERAL_PURPOSE_SUITES, SUITE_ORDER
+
+CPU2006 = ("SPECint2006", "SPECfp2006")
+DOMAIN = ("BioPerf", "BMW", "MediaBenchII")
+
+
+def bench_sec53_redundancy(benchmark, dataset, result, report):
+    vs_2006 = benchmark(
+        lambda: suite_redundancy(
+            dataset,
+            result.clustering,
+            reference_suites=CPU2006,
+            suites=SUITE_ORDER,
+        )
+    )
+    vs_spec = suite_redundancy(
+        dataset,
+        result.clustering,
+        reference_suites=GENERAL_PURPOSE_SUITES,
+        suites=SUITE_ORDER,
+    )
+    order = marginal_value_order(dataset, result.clustering, suites=SUITE_ORDER)
+
+    rows = [
+        [s, f"{100 * vs_2006[s]:.0f}%", f"{100 * vs_spec[s]:.0f}%"]
+        for s in DOMAIN
+    ]
+    text = format_table(
+        ["suite", "covered by CPU2006", "covered by all SPEC"], rows
+    )
+    text += "\n\ngreedy marginal-value suite ordering:\n"
+    text += format_table(["rank", "suite"], [[i + 1, s] for i, s in enumerate(order)])
+    report("sec53_redundancy.txt", text)
+
+    # BMW and MediaBench II are largely covered by the general-purpose
+    # suites a designer simulates anyway (BMW's image processing mirrors
+    # SPECfp2000's facerec; MediaBench II mirrors h264ref)...
+    assert vs_spec["BMW"] > 0.5
+    assert vs_spec["MediaBenchII"] > 0.4
+    assert vs_2006["MediaBenchII"] > 0.3
+    # ...while BioPerf is not: it earns its simulation time.
+    assert vs_spec["BioPerf"] < min(vs_spec["BMW"], vs_spec["MediaBenchII"])
+    assert vs_spec["BioPerf"] < 0.3
+    # A CPU2006 half leads the marginal-value ordering; BioPerf ranks
+    # above BMW and MediaBench II.
+    assert order[0] in CPU2006
+    assert order.index("BioPerf") < order.index("BMW")
+    assert order.index("BioPerf") < order.index("MediaBenchII")

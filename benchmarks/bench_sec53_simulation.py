@@ -1,0 +1,84 @@
+"""E9 — Section 5.3 implications: phase-based simulation.
+
+The paper's payoff: the phase-level clustering identifies *simulation
+points* — one representative interval per cluster — so that simulating
+a few hundred intervals reconstructs every benchmark's performance.
+This bench runs the :mod:`repro.uarch` timing substrate both ways over
+a cross-suite benchmark subset and quantifies:
+
+* reconstruction error of the phase-based CPI estimate vs. full
+  simulation of the sampled intervals,
+* the same for the naive baseline (simulate one random interval), and
+* the simulation-time reduction factor.
+"""
+
+import numpy as np
+
+from repro.analysis import PhaseBasedSimulation, random_interval_baseline
+from repro.io import format_table
+from repro.uarch import MachineConfig
+
+SUBSET = (
+    ("SPECint2006", "astar"),
+    ("SPECint2006", "sjeng"),
+    ("SPECint2000", "gcc"),
+    ("SPECfp2006", "lbm"),
+    ("SPECfp2006", "wrf"),
+    ("SPECfp2000", "swim"),
+    ("BioPerf", "hmmer"),
+    ("BioPerf", "grappa"),
+    ("BMW", "speak"),
+    ("MediaBenchII", "h264"),
+)
+
+
+def bench_sec53_phase_based_simulation(benchmark, result, config, report):
+    machine = MachineConfig()
+    sim = PhaseBasedSimulation(result, config, machine)
+
+    def phase_based_estimates():
+        return {
+            (suite, name): sim.benchmark_cpi(suite, name) for suite, name in SUBSET
+        }
+
+    estimates = benchmark.pedantic(phase_based_estimates, rounds=1, iterations=1)
+
+    rows = []
+    errors, baseline_errors = [], []
+    for suite, name in SUBSET:
+        true_cpi = sim.true_benchmark_cpi(suite, name, max_intervals=50)
+        est = estimates[(suite, name)]
+        base = random_interval_baseline(sim, suite, name, seed=7)
+        err = abs(est - true_cpi) / true_cpi
+        base_err = abs(base - true_cpi) / true_cpi
+        errors.append(err)
+        baseline_errors.append(base_err)
+        rows.append(
+            [
+                f"{suite}/{name}",
+                f"{true_cpi:.2f}",
+                f"{est:.2f}",
+                f"{100 * err:.1f}%",
+                f"{100 * base_err:.1f}%",
+            ]
+        )
+    table = format_table(
+        ["benchmark", "true CPI", "phase-based CPI", "error", "1-interval error"],
+        rows,
+    )
+    summary = (
+        f"\nmean phase-based error: {100 * np.mean(errors):.1f}%"
+        f"\nmean single-interval error: {100 * np.mean(baseline_errors):.1f}%"
+        f"\nsimulation reduction: {sim.reduction_factor():.0f}x"
+        f" ({len(result.dataset)} sampled intervals -> "
+        f"{len(result.dataset) // int(sim.reduction_factor())}-ish representatives)"
+    )
+    report("sec53_simulation.txt", table + "\n" + summary)
+
+    # Phase-based reconstruction is accurate...
+    assert np.mean(errors) < 0.10
+    assert max(errors) < 0.30
+    # ...and much better than picking a single interval.
+    assert np.mean(errors) < 0.5 * np.mean(baseline_errors)
+    # The whole point: an order of magnitude less simulation.
+    assert sim.reduction_factor() > 10

@@ -1,0 +1,46 @@
+"""E1 — Table 3: the 77 benchmarks and their interval counts.
+
+Regenerates the paper's benchmark inventory (suite, benchmark, number
+of instruction intervals) and times the interval-sampling step that
+consumes it.
+"""
+
+import numpy as np
+
+from repro.core import sample_interval_indices
+from repro.io import format_table
+from repro.suites import SUITE_ORDER, all_benchmarks, all_suites
+
+
+def bench_table3_inventory(benchmark, config, report):
+    benches = all_benchmarks()
+
+    def sample_all():
+        return [
+            sample_interval_indices(b, config.intervals_per_benchmark, seed=config.seed)
+            for b in benches
+        ]
+
+    picks = benchmark(sample_all)
+
+    rows = [[b.suite, b.name, b.n_intervals] for b in benches]
+    table = format_table(["suite", "benchmark", "intervals"], rows)
+    totals = format_table(
+        ["suite", "benchmarks", "total intervals"],
+        [
+            [s.name, len(s), sum(b.n_intervals for b in s.benchmarks)]
+            for s in all_suites()
+        ],
+    )
+    report("table3_benchmarks.txt", table + "\n\n" + totals)
+
+    # Shape checks: the paper's counts.
+    assert len(benches) == 77
+    assert len(picks) == 77
+    for b, p in zip(benches, picks):
+        assert len(p) == config.intervals_per_benchmark
+        # Short benchmarks (e.g. MediaBench II's jpeg with 2 intervals)
+        # are sampled with replacement, as in the paper.
+        assert p.max() < b.n_intervals
+    suite_names = {b.suite for b in benches}
+    assert suite_names == set(SUITE_ORDER)

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize two benchmark suites and compare them.
+
+Runs the full methodology — MICA featurization, interval sampling, PCA,
+BIC-scored k-means, prominent-phase selection, and GA key-characteristic
+selection — over BioPerf and MediaBench II at a small scale, then prints
+what the paper's analyses would say about them.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import AnalysisConfig, build_dataset, run_characterization
+from repro.analysis import suite_coverage, suite_uniqueness
+from repro.io import format_table
+from repro.mica import FEATURE_CATEGORY
+from repro.suites import get_suite
+
+
+def main() -> None:
+    config = AnalysisConfig.small()
+    benchmarks = list(get_suite("BioPerf").benchmarks) + list(
+        get_suite("MediaBenchII").benchmarks
+    )
+    print(f"characterizing {len(benchmarks)} benchmarks "
+          f"({config.intervals_per_benchmark} intervals each, "
+          f"{config.interval_instructions} instructions per interval)...")
+    dataset = build_dataset(benchmarks, config)
+    result = run_characterization(dataset, config)
+
+    print(f"\nretained {result.n_components} principal components "
+          f"explaining {100 * result.explained_variance:.1f}% of variance")
+    print(f"{len(result.prominent)} prominent phases cover "
+          f"{100 * result.prominent.coverage:.1f}% of the sampled execution")
+
+    print("\nGA-selected key characteristics "
+          f"(distance correlation {result.ga_result.fitness:.2f}):")
+    rows = [
+        [name, FEATURE_CATEGORY[name]] for name in result.key_characteristics
+    ]
+    print(format_table(["characteristic", "category"], rows))
+
+    coverage = suite_coverage(dataset, result.clustering)
+    uniqueness = suite_uniqueness(dataset, result.clustering)
+    print("\nsuite comparison:")
+    rows = [
+        [suite, coverage[suite], f"{100 * uniqueness[suite]:.0f}%"]
+        for suite in dataset.suite_names()
+    ]
+    print(format_table(["suite", "clusters touched", "unique behaviour"], rows))
+
+
+if __name__ == "__main__":
+    main()

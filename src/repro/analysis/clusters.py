@@ -1,0 +1,122 @@
+"""Cluster composition and classification.
+
+The paper groups clusters into *benchmark-specific* (one benchmark),
+*suite-specific* (several benchmarks, one suite) and *mixed* (several
+suites).  This module computes, for every cluster, which benchmarks and
+suites populate it and with what weight — the raw material for the
+kiviat pages (Figs 2-3) and the coverage/diversity/uniqueness analyses
+(Figs 4-6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core import WorkloadDataset
+from ..stats import Clustering
+
+
+class ClusterKind(enum.Enum):
+    """The paper's three cluster groups."""
+
+    BENCHMARK_SPECIFIC = "benchmark-specific"
+    SUITE_SPECIFIC = "suite-specific"
+    MIXED = "mixed"
+
+
+@dataclass(frozen=True)
+class ClusterComposition:
+    """Who populates one cluster.
+
+    Attributes:
+        cluster_id: the cluster index.
+        size: rows in the cluster.
+        weight: fraction of the whole data set in this cluster.
+        benchmark_counts: ``{benchmark_key: rows}``.
+        suite_counts: ``{suite: rows}``.
+        benchmark_fraction: ``{benchmark_key: fraction of that
+            benchmark's sampled execution in this cluster}`` — the
+            percentages printed in the paper's benchmark boxes.
+    """
+
+    cluster_id: int
+    size: int
+    weight: float
+    benchmark_counts: Dict[str, int]
+    suite_counts: Dict[str, int]
+    benchmark_fraction: Dict[str, float]
+
+    @property
+    def kind(self) -> ClusterKind:
+        if len(self.benchmark_counts) == 1:
+            return ClusterKind.BENCHMARK_SPECIFIC
+        if len(self.suite_counts) == 1:
+            return ClusterKind.SUITE_SPECIFIC
+        return ClusterKind.MIXED
+
+    def pie_shares(self) -> List[Tuple[str, float]]:
+        """``(benchmark_key, share-of-cluster)`` sorted descending —
+        the paper's pie charts."""
+        total = self.size
+        shares = [
+            (key, count / total) for key, count in self.benchmark_counts.items()
+        ]
+        return sorted(shares, key=lambda kv: kv[1], reverse=True)
+
+
+def cluster_compositions(
+    dataset: WorkloadDataset, clustering: Clustering
+) -> List[ClusterComposition]:
+    """Composition of every non-empty cluster, by cluster id."""
+    keys = dataset.benchmark_keys
+    suites = dataset.suites
+    n = len(dataset)
+    bench_totals: Dict[str, int] = {}
+    for key in keys:
+        bench_totals[key] = bench_totals.get(key, 0) + 1
+    out: List[ClusterComposition] = []
+    for cluster in range(clustering.k):
+        rows = np.flatnonzero(clustering.labels == cluster)
+        if len(rows) == 0:
+            continue
+        bc: Dict[str, int] = {}
+        sc: Dict[str, int] = {}
+        for r in rows:
+            bc[keys[r]] = bc.get(keys[r], 0) + 1
+            s = str(suites[r])
+            sc[s] = sc.get(s, 0) + 1
+        frac = {key: count / bench_totals[key] for key, count in bc.items()}
+        out.append(
+            ClusterComposition(
+                cluster_id=cluster,
+                size=len(rows),
+                weight=len(rows) / n,
+                benchmark_counts=bc,
+                suite_counts=sc,
+                benchmark_fraction=frac,
+            )
+        )
+    return out
+
+
+def compositions_by_id(
+    compositions: List[ClusterComposition],
+) -> Dict[int, ClusterComposition]:
+    """Index compositions by cluster id."""
+    return {c.cluster_id: c for c in compositions}
+
+
+def group_by_kind(
+    compositions: List[ClusterComposition],
+) -> Dict[ClusterKind, List[ClusterComposition]]:
+    """Partition clusters into the paper's three groups."""
+    out: Dict[ClusterKind, List[ClusterComposition]] = {
+        kind: [] for kind in ClusterKind
+    }
+    for c in compositions:
+        out[c.kind].append(c)
+    return out

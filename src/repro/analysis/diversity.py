@@ -1,0 +1,77 @@
+"""Within-suite diversity (Figure 5).
+
+Diversity is measured as the cumulative fraction of a suite represented
+by its heaviest clusters: the more clusters needed to reach a given
+coverage, the more diverse the suite.  The paper's headline: the
+domain-specific suites need far fewer clusters to reach 90% than the
+SPEC CPU suites, and CPU2006 needs slightly more than CPU2000.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core import WorkloadDataset
+from ..stats import Clustering
+from .clusters import ClusterComposition, cluster_compositions
+
+
+def cumulative_coverage(
+    dataset: WorkloadDataset,
+    clustering: Clustering,
+    *,
+    suites: Sequence[str] = None,
+) -> Dict[str, np.ndarray]:
+    """Cumulative coverage curve per suite.
+
+    For each suite, the clusters are sorted by the number of the
+    suite's intervals they hold, descending; entry ``i`` of the curve is
+    the fraction of the suite represented by the heaviest ``i + 1``
+    clusters.  Curves end at 1.0.
+
+    Returns:
+        ``{suite: curve}`` with one float array per suite.
+    """
+    if suites is None:
+        suites = dataset.suite_names()
+    compositions = cluster_compositions(dataset, clustering)
+    return curves_from_compositions(compositions, dataset, suites)
+
+
+def curves_from_compositions(
+    compositions: List[ClusterComposition],
+    dataset: WorkloadDataset,
+    suites: Sequence[str],
+) -> Dict[str, np.ndarray]:
+    """Cumulative-coverage curves from precomputed compositions."""
+    out: Dict[str, np.ndarray] = {}
+    for suite in suites:
+        total = int(np.count_nonzero(dataset.suites == suite))
+        if total == 0:
+            out[suite] = np.zeros(0)
+            continue
+        per_cluster = sorted(
+            (comp.suite_counts.get(suite, 0) for comp in compositions),
+            reverse=True,
+        )
+        per_cluster = [c for c in per_cluster if c > 0]
+        out[suite] = np.cumsum(per_cluster) / total
+    return out
+
+
+def clusters_to_cover(curve: np.ndarray, fraction: float) -> int:
+    """Clusters needed to reach the given coverage fraction.
+
+    The Figure 5 reading aid: e.g. "only 5 clusters are required to
+    cover 90% of the BioPerf benchmark suite".
+    """
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    if len(curve) == 0:
+        return 0
+    reached = np.flatnonzero(curve >= fraction - 1e-12)
+    if len(reached) == 0:
+        return len(curve)
+    return int(reached[0]) + 1

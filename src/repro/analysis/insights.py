@@ -1,0 +1,106 @@
+"""Per-benchmark phase insights (paper section 4.2).
+
+Helpers to interrogate a characterization the way the paper's prose
+does: how many prominent phases a benchmark splits across (astar),
+whether two benchmarks share a cluster (the two hmmer versions), and
+how homogeneous a benchmark is (sixtrack / lbm / sjeng each sit ~99%
+in a single cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core import PhaseCharacterization
+from .clusters import ClusterComposition, cluster_compositions, compositions_by_id
+
+
+@dataclass(frozen=True)
+class BenchmarkPhaseProfile:
+    """How one benchmark distributes over clusters.
+
+    Attributes:
+        key: the benchmark's ``suite/name`` key.
+        cluster_fractions: ``{cluster_id: fraction of the benchmark}``
+            sorted descending by fraction.
+    """
+
+    key: str
+    cluster_fractions: Tuple[Tuple[int, float], ...]
+
+    @property
+    def dominant_fraction(self) -> float:
+        """Fraction in the benchmark's heaviest cluster."""
+        return self.cluster_fractions[0][1] if self.cluster_fractions else 0.0
+
+    def prominent_phase_count(self, threshold: float = 0.1) -> int:
+        """Number of clusters holding at least ``threshold`` of the
+        benchmark — the "astar is partitioned across two prominent
+        phase behaviors" measure."""
+        return sum(1 for _, frac in self.cluster_fractions if frac >= threshold)
+
+
+def benchmark_profile(
+    result: PhaseCharacterization, suite: str, name: str
+) -> BenchmarkPhaseProfile:
+    """Cluster distribution of one benchmark."""
+    key = f"{suite}/{name}"
+    mask = result.dataset.rows_for_benchmark(suite, name)
+    if not mask.any():
+        raise KeyError(f"benchmark {key} not in the dataset")
+    labels = result.clustering.labels[mask]
+    total = int(mask.sum())
+    counts: Dict[int, int] = {}
+    for label in labels:
+        counts[int(label)] = counts.get(int(label), 0) + 1
+    fractions = sorted(
+        ((cluster, c / total) for cluster, c in counts.items()),
+        key=lambda kv: kv[1],
+        reverse=True,
+    )
+    return BenchmarkPhaseProfile(key=key, cluster_fractions=tuple(fractions))
+
+
+def shared_clusters(
+    result: PhaseCharacterization,
+    bench_a: Tuple[str, str],
+    bench_b: Tuple[str, str],
+) -> List[int]:
+    """Clusters containing intervals from both benchmarks.
+
+    The hmmer check: the SPEC CPU2006 and BioPerf versions share at
+    least one cluster.
+    """
+    profile_a = benchmark_profile(result, *bench_a)
+    profile_b = benchmark_profile(result, *bench_b)
+    a_clusters = {c for c, _ in profile_a.cluster_fractions}
+    b_clusters = {c for c, _ in profile_b.cluster_fractions}
+    return sorted(a_clusters & b_clusters)
+
+
+def homogeneity(result: PhaseCharacterization, suite: str, name: str) -> float:
+    """Fraction of the benchmark in its single heaviest cluster.
+
+    Near 1.0 for the paper's near-homogeneous benchmarks (sixtrack,
+    lbm, sjeng).
+    """
+    return benchmark_profile(result, suite, name).dominant_fraction
+
+
+def unique_fraction_of_benchmark(
+    result: PhaseCharacterization, suite: str, name: str
+) -> float:
+    """Fraction of a benchmark's execution in clusters populated only
+    by its own suite — its contribution to Figure 6."""
+    compositions = compositions_by_id(
+        cluster_compositions(result.dataset, result.clustering)
+    )
+    profile = benchmark_profile(result, suite, name)
+    return sum(
+        frac
+        for cluster, frac in profile.cluster_fractions
+        if set(compositions[cluster].suite_counts) == {suite}
+    )

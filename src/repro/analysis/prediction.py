@@ -1,0 +1,94 @@
+"""Performance prediction from inherent program similarity.
+
+Implements the application of the authors' companion paper ("Performance
+prediction based on inherent program similarity", PACT 2006, reference
+[13]): predict how an *unseen* benchmark performs on a machine from the
+measured performance of the benchmarks nearest to it in the
+microarchitecture-independent workload space — no simulation of the
+target benchmark at all.
+
+Prediction is per *phase*: each interval of the target borrows the CPI
+of its nearest simulated neighbour interval (in the rescaled PCA
+space), and the benchmark's CPI is the average over its intervals.
+This is strictly harder than the cluster-representative reconstruction
+in :mod:`repro.analysis.simpoints`, because the target's own intervals
+are excluded from the neighbour pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import AnalysisConfig
+from ..core import PhaseCharacterization
+from ..stats import distances_to
+from ..uarch import MachineConfig, simulate
+from .simpoints import trace_for_row
+
+
+@dataclass
+class SimilarityPredictor:
+    """Nearest-neighbour CPI prediction in the workload space.
+
+    Args:
+        result: a fitted characterization (supplies the space).
+        config: its analysis configuration (for trace regeneration).
+        machine: the target machine.
+        anchors_per_cluster: simulated anchor intervals per cluster —
+            the predictor's training set is the cluster-representative
+            pool, reused across all queries.
+    """
+
+    result: PhaseCharacterization
+    config: AnalysisConfig
+    machine: MachineConfig
+
+    def __post_init__(self) -> None:
+        from .simpoints import cluster_representative_rows
+
+        self._anchor_rows = np.array(
+            sorted(cluster_representative_rows(self.result).values()), dtype=np.int64
+        )
+        self._anchor_cpi: Dict[int, float] = {}
+
+    def _cpi_of_row(self, row: int) -> float:
+        cached = self._anchor_cpi.get(row)
+        if cached is None:
+            trace = trace_for_row(self.result, row, self.config)
+            cached = simulate(trace, self.machine).cpi
+            self._anchor_cpi[row] = cached
+        return cached
+
+    def predict_benchmark_cpi(self, suite: str, name: str) -> float:
+        """Predict a benchmark's CPI without simulating any of it.
+
+        Every interval of the target benchmark is matched to its
+        nearest *foreign* anchor (anchors that belong to the target
+        itself are excluded — the benchmark is treated as unseen).
+        """
+        dataset = self.result.dataset
+        mask = dataset.rows_for_benchmark(suite, name)
+        if not mask.any():
+            raise KeyError(f"benchmark {suite}/{name} not in the dataset")
+        target_rows = np.flatnonzero(mask)
+        anchor_rows = self._anchor_rows
+        foreign = anchor_rows[~np.isin(anchor_rows, target_rows)]
+        if len(foreign) == 0:
+            raise ValueError("no foreign anchors available")
+        d = distances_to(self.result.space[target_rows], self.result.space[foreign])
+        nearest = foreign[np.argmin(d, axis=1)]
+        return float(np.mean([self._cpi_of_row(int(r)) for r in nearest]))
+
+    def prediction_error(
+        self, suite: str, name: str, *, max_intervals: int = 40
+    ) -> Tuple[float, float, float]:
+        """``(predicted, true, relative error)`` for one benchmark."""
+        from .simpoints import PhaseBasedSimulation
+
+        predicted = self.predict_benchmark_cpi(suite, name)
+        truth_sim = PhaseBasedSimulation(self.result, self.config, self.machine)
+        true = truth_sim.true_benchmark_cpi(suite, name, max_intervals=max_intervals)
+        return predicted, true, abs(predicted - true) / true

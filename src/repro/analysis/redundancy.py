@@ -1,0 +1,104 @@
+"""Suite redundancy: is a suite worth simulating given other suites?
+
+The paper's second implication (section 5.3): "because MediaBench II
+and BioMetricsWorkload represent much less unique behaviors than
+CPU2006 and BioPerf, in case one is pressed on simulation time, it may
+not be worth the effort to simulate MediaBench II and
+BioMetricsWorkload".  This module quantifies that directly: the
+*redundancy* of suite S given a reference set R is the fraction of S's
+sampled execution that falls in clusters also populated by R — the part
+of S a designer already covers by simulating R.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..core import WorkloadDataset
+from ..stats import Clustering
+from .clusters import ClusterComposition, cluster_compositions
+
+
+def suite_redundancy(
+    dataset: WorkloadDataset,
+    clustering: Clustering,
+    *,
+    reference_suites: Sequence[str],
+    suites: Sequence[str] = None,
+) -> Dict[str, float]:
+    """Fraction of each suite covered by the reference suites' clusters.
+
+    Args:
+        dataset: the characterized intervals.
+        clustering: clustering over all intervals.
+        reference_suites: the suites assumed to be simulated anyway
+            (typically SPEC CPU2006).
+        suites: suites to report; defaults to every suite in the
+            dataset.  Reference suites report their redundancy against
+            the *other* reference suites only, so the number stays
+            meaningful (a suite is trivially redundant with itself).
+
+    Returns:
+        ``{suite: fraction in reference-covered clusters}``.
+    """
+    if suites is None:
+        suites = dataset.suite_names()
+    reference = set(reference_suites)
+    compositions = cluster_compositions(dataset, clustering)
+    out: Dict[str, float] = {}
+    for suite in suites:
+        total = int(np.count_nonzero(dataset.suites == suite))
+        if total == 0:
+            out[suite] = 0.0
+            continue
+        others = reference - {suite}
+        covered = 0
+        for comp in compositions:
+            own = comp.suite_counts.get(suite, 0)
+            if own and any(ref in comp.suite_counts for ref in others):
+                covered += own
+        out[suite] = covered / total
+    return out
+
+
+def marginal_value_order(
+    dataset: WorkloadDataset,
+    clustering: Clustering,
+    *,
+    suites: Sequence[str] = None,
+) -> List[str]:
+    """Greedy suite ordering by marginal workload-space contribution.
+
+    Starts from nothing and repeatedly adds the suite covering the most
+    yet-uncovered clusters — the order in which a simulation-time-
+    constrained designer should add suites.  Ties break toward the
+    suite with more intervals in the new clusters.
+    """
+    if suites is None:
+        suites = dataset.suite_names()
+    compositions = cluster_compositions(dataset, clustering)
+    suite_clusters: Dict[str, set] = {
+        suite: {
+            comp.cluster_id
+            for comp in compositions
+            if suite in comp.suite_counts
+        }
+        for suite in suites
+    }
+    remaining = list(suites)
+    covered: set = set()
+    order: List[str] = []
+    while remaining:
+        best = max(
+            remaining,
+            key=lambda s: (
+                len(suite_clusters[s] - covered),
+                int(np.count_nonzero(dataset.suites == s)),
+            ),
+        )
+        order.append(best)
+        covered |= suite_clusters[best]
+        remaining.remove(best)
+    return order

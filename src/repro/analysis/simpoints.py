@@ -1,0 +1,162 @@
+"""Phase-based simulation points (the paper's section 5.3 implications).
+
+The reason phase-level characterization exists is simulation-time
+reduction: instead of simulating every interval of every benchmark,
+simulate one *representative* interval per cluster and reconstruct each
+benchmark's metrics as the cluster-weighted combination — the
+cross-benchmark generalization of SimPoint (Eeckhout, Sampson & Calder,
+IISWC 2005, reference [8] of the paper).
+
+This module implements that application on top of the
+:mod:`repro.uarch` timing substrate and quantifies both sides of the
+trade: the simulation-time reduction factor and the CPI reconstruction
+error against full simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..config import AnalysisConfig
+from ..core import PhaseCharacterization
+from ..isa import Trace
+from ..stats import distances_to
+from ..suites import get_benchmark
+from ..uarch import MachineConfig, SimResult, simulate
+
+
+def trace_for_row(result: PhaseCharacterization, row: int, config: AnalysisConfig) -> Trace:
+    """Regenerate the trace interval behind a dataset row."""
+    dataset = result.dataset
+    suite = str(dataset.suites[row])
+    name = str(dataset.benchmarks[row])
+    index = int(dataset.interval_indices[row])
+    benchmark = get_benchmark(suite, name)
+    return benchmark.program.interval_trace(index, config.interval_instructions)
+
+
+def cluster_representative_rows(result: PhaseCharacterization) -> Dict[int, int]:
+    """Representative dataset row (closest to center) for every cluster."""
+    reps: Dict[int, int] = {}
+    labels = result.clustering.labels
+    for cluster in range(result.clustering.k):
+        members = np.flatnonzero(labels == cluster)
+        if len(members) == 0:
+            continue
+        d = distances_to(
+            result.space[members], result.clustering.centers[cluster][None, :]
+        )
+        reps[cluster] = int(members[int(np.argmin(d[:, 0]))])
+    return reps
+
+
+@dataclass
+class PhaseBasedSimulation:
+    """Simulate cluster representatives once; reconstruct per benchmark.
+
+    Args:
+        result: a fitted characterization.
+        config: the analysis configuration it was built with (supplies
+            the interval size for trace regeneration).
+        machine: the machine to simulate.
+    """
+
+    result: PhaseCharacterization
+    config: AnalysisConfig
+    machine: MachineConfig
+
+    def __post_init__(self) -> None:
+        self._rep_rows = cluster_representative_rows(self.result)
+        self._cluster_results: Dict[int, SimResult] = {}
+        self._row_results: Dict[int, SimResult] = {}
+        self.simulated_representatives = 0
+
+    def _simulate_row(self, row: int) -> SimResult:
+        cached = self._row_results.get(row)
+        if cached is None:
+            trace = trace_for_row(self.result, row, self.config)
+            cached = simulate(trace, self.machine)
+            self._row_results[row] = cached
+        return cached
+
+    def cluster_result(self, cluster: int) -> SimResult:
+        """Simulation result of the cluster's representative interval."""
+        cached = self._cluster_results.get(cluster)
+        if cached is None:
+            if cluster not in self._rep_rows:
+                raise KeyError(f"cluster {cluster} is empty")
+            cached = self._simulate_row(self._rep_rows[cluster])
+            self._cluster_results[cluster] = cached
+            self.simulated_representatives += 1
+        return cached
+
+    def benchmark_cpi(self, suite: str, name: str) -> float:
+        """Phase-based CPI estimate: cluster-weighted representatives."""
+        mask = self.result.dataset.rows_for_benchmark(suite, name)
+        if not mask.any():
+            raise KeyError(f"benchmark {suite}/{name} not in the dataset")
+        labels = self.result.clustering.labels[mask]
+        clusters, counts = np.unique(labels, return_counts=True)
+        total = counts.sum()
+        cpi = 0.0
+        for cluster, count in zip(clusters, counts):
+            cpi += self.cluster_result(int(cluster)).cpi * (count / total)
+        return cpi
+
+    def true_benchmark_cpi(
+        self, suite: str, name: str, *, max_intervals: Optional[int] = None
+    ) -> float:
+        """Ground truth: simulate (up to) all the benchmark's sampled rows.
+
+        Duplicate interval picks are simulated once and weighted by
+        multiplicity.
+        """
+        dataset = self.result.dataset
+        mask = dataset.rows_for_benchmark(suite, name)
+        if not mask.any():
+            raise KeyError(f"benchmark {suite}/{name} not in the dataset")
+        rows = np.flatnonzero(mask)
+        indices = dataset.interval_indices[rows]
+        unique_idx, first_pos, counts = np.unique(
+            indices, return_index=True, return_counts=True
+        )
+        order = np.arange(len(unique_idx))
+        if max_intervals is not None and max_intervals < len(order):
+            # Spread the truncated sample evenly across the run so every
+            # phase contributes (np.unique returns indices sorted by
+            # position in the execution).
+            order = np.linspace(0, len(order) - 1, max_intervals).astype(int)
+            order = np.unique(order)
+        total_cycles = 0.0
+        total_instr = 0
+        for j in order:
+            row = int(rows[first_pos[j]])
+            res = self._simulate_row(row)
+            weight = int(counts[j])
+            total_cycles += res.cycles * weight
+            total_instr += res.instructions * weight
+        return total_cycles / total_instr
+
+    def reduction_factor(self) -> float:
+        """Simulation-time reduction: sampled intervals per representative."""
+        return len(self.result.dataset) / max(1, len(self._rep_rows))
+
+
+def random_interval_baseline(
+    sim: PhaseBasedSimulation, suite: str, name: str, *, seed: int = 0
+) -> float:
+    """Baseline estimator: CPI of one randomly chosen interval.
+
+    The naive alternative to phase-based selection — what you get by
+    simulating "a slice from the middle" of a benchmark.
+    """
+    dataset = sim.result.dataset
+    rows = np.flatnonzero(dataset.rows_for_benchmark(suite, name))
+    if len(rows) == 0:
+        raise KeyError(f"benchmark {suite}/{name} not in the dataset")
+    rng = np.random.default_rng(seed)
+    row = int(rng.choice(rows))
+    return sim._simulate_row(row).cpi

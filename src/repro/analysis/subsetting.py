@@ -1,0 +1,132 @@
+"""Representative benchmark subsetting.
+
+The companion application from the authors' prior work (Eeckhout et
+al., PACT 2002 "Workload design"; Phansalkar et al.): once benchmarks
+live in a common workload space, a small subset can be selected to
+represent the whole population — cutting simulation cost at suite
+granularity, complementing the interval-granularity simulation points
+of :mod:`repro.analysis.simpoints`.
+
+Selection is greedy max-coverage over the phase clusters: each step
+adds the benchmark whose sampled intervals cover the most yet-uncovered
+clusters, weighted by cluster size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..core import WorkloadDataset
+from ..stats import Clustering
+
+
+@dataclass(frozen=True)
+class SubsetSelection:
+    """A greedy benchmark subset.
+
+    Attributes:
+        benchmarks: selected benchmark keys, in selection order.
+        coverage: cumulative weighted cluster coverage after each pick
+            (fraction of all sampled intervals whose cluster is
+            represented by at least one selected benchmark).
+    """
+
+    benchmarks: Tuple[str, ...]
+    coverage: Tuple[float, ...]
+
+    def __len__(self) -> int:
+        return len(self.benchmarks)
+
+    @property
+    def final_coverage(self) -> float:
+        return self.coverage[-1] if self.coverage else 0.0
+
+
+def _benchmark_clusters(
+    dataset: WorkloadDataset, clustering: Clustering
+) -> Dict[str, Set[int]]:
+    keys = dataset.benchmark_keys
+    out: Dict[str, Set[int]] = {}
+    for key, label in zip(keys, clustering.labels):
+        out.setdefault(str(key), set()).add(int(label))
+    return out
+
+
+def select_representative_benchmarks(
+    dataset: WorkloadDataset,
+    clustering: Clustering,
+    n_benchmarks: int,
+    *,
+    candidates: Sequence[str] = None,
+) -> SubsetSelection:
+    """Greedy max-coverage benchmark selection.
+
+    Args:
+        dataset: the characterized intervals.
+        clustering: clustering over all intervals.
+        n_benchmarks: subset size; clipped to the candidate count.
+        candidates: benchmark keys eligible for selection (default:
+            every benchmark in the dataset).  Coverage is always
+            measured against the *whole* dataset, so one can ask e.g.
+            "how well could CPU2006 alone cover everything?".
+
+    Returns:
+        The selection with its cumulative-coverage trajectory.
+    """
+    if n_benchmarks < 1:
+        raise ValueError("n_benchmarks must be >= 1")
+    cluster_sets = _benchmark_clusters(dataset, clustering)
+    if candidates is None:
+        candidates = sorted(cluster_sets)
+    else:
+        unknown = [c for c in candidates if c not in cluster_sets]
+        if unknown:
+            raise KeyError(f"unknown candidate benchmarks: {unknown}")
+        candidates = list(candidates)
+    cluster_weight = {
+        int(c): int(n)
+        for c, n in zip(*np.unique(clustering.labels, return_counts=True))
+    }
+    total = len(dataset)
+    n_benchmarks = min(n_benchmarks, len(candidates))
+
+    covered: Set[int] = set()
+    chosen: List[str] = []
+    coverage: List[float] = []
+    remaining = list(candidates)
+    for _ in range(n_benchmarks):
+        best, best_gain = None, -1
+        for key in remaining:
+            gain = sum(
+                cluster_weight[c] for c in cluster_sets[key] - covered
+            )
+            if gain > best_gain or (gain == best_gain and best is not None and key < best):
+                best, best_gain = key, gain
+        chosen.append(best)
+        covered |= cluster_sets[best]
+        remaining.remove(best)
+        coverage.append(sum(cluster_weight[c] for c in covered) / total)
+    return SubsetSelection(benchmarks=tuple(chosen), coverage=tuple(coverage))
+
+
+def subset_quality(
+    dataset: WorkloadDataset,
+    clustering: Clustering,
+    benchmarks: Sequence[str],
+) -> float:
+    """Weighted cluster coverage of an arbitrary benchmark subset."""
+    cluster_sets = _benchmark_clusters(dataset, clustering)
+    unknown = [b for b in benchmarks if b not in cluster_sets]
+    if unknown:
+        raise KeyError(f"unknown benchmarks: {unknown}")
+    covered: Set[int] = set()
+    for key in benchmarks:
+        covered |= cluster_sets[key]
+    cluster_weight = {
+        int(c): int(n)
+        for c, n in zip(*np.unique(clustering.labels, return_counts=True))
+    }
+    return sum(cluster_weight[c] for c in covered) / len(dataset)

@@ -1,0 +1,69 @@
+"""Per-benchmark phase timelines.
+
+The paper's premise is *time-varying* behaviour: a benchmark moves
+through phases as it executes.  A timeline makes that visible — the
+sequence of cluster ids over a benchmark's sampled intervals, in
+execution order, plus an ASCII strip rendering (one letter per
+interval, letters assigned to clusters by weight).
+"""
+
+from __future__ import annotations
+
+import string
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core import PhaseCharacterization
+
+
+def benchmark_timeline(
+    result: PhaseCharacterization, suite: str, name: str
+) -> List[Tuple[int, int]]:
+    """``(interval_index, cluster)`` pairs in execution order.
+
+    Duplicate sampled intervals (short benchmarks) are reported once.
+    """
+    dataset = result.dataset
+    mask = dataset.rows_for_benchmark(suite, name)
+    if not mask.any():
+        raise KeyError(f"benchmark {suite}/{name} not in the dataset")
+    rows = np.flatnonzero(mask)
+    indices = dataset.interval_indices[rows]
+    labels = result.clustering.labels[rows]
+    seen: Dict[int, int] = {}
+    for idx, label in zip(indices, labels):
+        seen.setdefault(int(idx), int(label))
+    return sorted(seen.items())
+
+
+def ascii_timeline(
+    result: PhaseCharacterization, suite: str, name: str, *, width: int = 64
+) -> List[str]:
+    """Render a benchmark's phase timeline as an ASCII strip.
+
+    Each position is one sampled interval (execution order, resampled
+    to ``width`` columns when there are more); clusters are lettered
+    ``A, B, C...`` by decreasing share of the benchmark, with ``.`` for
+    everything beyond the alphabet.  Returns the strip plus a legend.
+    """
+    timeline = benchmark_timeline(result, suite, name)
+    labels = [cluster for _, cluster in timeline]
+    if len(labels) > width:
+        picks = np.linspace(0, len(labels) - 1, width).astype(int)
+        labels = [labels[i] for i in picks]
+    clusters, counts = np.unique([c for _, c in timeline], return_counts=True)
+    order = np.argsort(-counts)
+    letters: Dict[int, str] = {}
+    for rank, pos in enumerate(order):
+        if rank < len(string.ascii_uppercase):
+            letters[int(clusters[pos])] = string.ascii_uppercase[rank]
+        else:
+            letters[int(clusters[pos])] = "."
+    strip = "".join(letters[c] for c in labels)
+    legend = [
+        f"{letters[int(clusters[pos])]} = cluster {int(clusters[pos])} "
+        f"({100 * counts[pos] / counts.sum():.0f}%)"
+        for pos in order[: min(len(order), 6)]
+    ]
+    return [f"{suite}/{name}: {strip}"] + legend

@@ -1,0 +1,270 @@
+"""Command-line interface.
+
+Usage (installed as ``python -m repro``)::
+
+    python -m repro features                 # list the 69 characteristics
+    python -m repro suites                   # list the 77 benchmarks
+    python -m repro characterize out.npz     # run the pipeline, save it
+    python -m repro compare out.npz          # Figures 4/5/6 analyses
+    python -m repro phases out.npz SPECint2006 astar   # section 4.2 view
+    python -m repro render out.npz figdir/   # Figures 2/3 SVG pages
+    python -m repro simulate out.npz SPECint2006 astar # section 5.3 CPI
+
+Every command prints plain text; figure pages are SVG files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .config import AnalysisConfig
+from .core import (
+    build_dataset,
+    load_characterization,
+    run_characterization,
+    save_characterization,
+)
+from .io import format_table
+from .mica import FEATURES
+from .suites import SUITE_ORDER, all_benchmarks, all_suites, get_suite
+
+
+def _preset(name: str) -> AnalysisConfig:
+    presets = {
+        "paper": AnalysisConfig.paper,
+        "small": AnalysisConfig.small,
+        "tiny": AnalysisConfig.tiny,
+    }
+    if name not in presets:
+        raise SystemExit(f"unknown preset {name!r} (choose from {sorted(presets)})")
+    return presets[name]()
+
+
+def _cmd_features(args: argparse.Namespace) -> int:
+    rows = [[i + 1, f.name, f.category, f.description] for i, f in enumerate(FEATURES)]
+    print(format_table(["#", "name", "category", "description"], rows))
+    return 0
+
+
+def _cmd_suites(args: argparse.Namespace) -> int:
+    rows = [
+        [b.suite, b.name, b.n_intervals] for b in all_benchmarks()
+    ]
+    print(format_table(["suite", "benchmark", "intervals"], rows))
+    print(f"\n{len(all_suites())} suites, {len(rows)} benchmarks")
+    return 0
+
+
+def _select_benchmarks(suite_names: Optional[List[str]]):
+    if not suite_names:
+        return all_benchmarks()
+    benches = []
+    for name in suite_names:
+        benches.extend(get_suite(name).benchmarks)
+    return benches
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    config = _preset(args.preset)
+    benches = _select_benchmarks(args.suite)
+    print(f"characterizing {len(benches)} benchmarks at preset {args.preset!r}...")
+    dataset = build_dataset(
+        benches, config, progress=(print if args.verbose else None)
+    )
+    result = run_characterization(dataset, config, select_key=not args.no_ga)
+    save_characterization(result, args.output)
+    print(
+        f"saved {args.output}: {len(dataset)} intervals, "
+        f"{result.n_components} components "
+        f"({100 * result.explained_variance:.1f}% variance), "
+        f"{result.clustering.k} clusters, "
+        f"{len(result.prominent)} prominent phases "
+        f"({100 * result.prominent.coverage:.1f}% coverage)"
+    )
+    if result.key_characteristics:
+        print("key characteristics: " + ", ".join(result.key_characteristics))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .analysis import (
+        clusters_to_cover,
+        cumulative_coverage,
+        suite_coverage,
+        suite_uniqueness,
+    )
+
+    result = load_characterization(args.characterization)
+    dataset = result.dataset
+    suites = [s for s in SUITE_ORDER if s in set(dataset.suite_names())]
+    coverage = suite_coverage(dataset, result.clustering, suites=suites)
+    uniqueness = suite_uniqueness(dataset, result.clustering, suites=suites)
+    curves = cumulative_coverage(dataset, result.clustering, suites=suites)
+    rows = [
+        [
+            s,
+            coverage[s],
+            clusters_to_cover(curves[s], 0.9),
+            f"{100 * uniqueness[s]:.0f}%",
+        ]
+        for s in suites
+    ]
+    print(
+        format_table(
+            ["suite", "clusters touched", "clusters for 90%", "unique"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_phases(args: argparse.Namespace) -> int:
+    from .analysis import benchmark_profile, unique_fraction_of_benchmark
+
+    result = load_characterization(args.characterization)
+    profile = benchmark_profile(result, args.suite, args.benchmark)
+    rows = [
+        [cluster, f"{100 * frac:.1f}%"]
+        for cluster, frac in profile.cluster_fractions[: args.top]
+    ]
+    print(format_table(["cluster", "fraction of benchmark"], rows))
+    unique = unique_fraction_of_benchmark(result, args.suite, args.benchmark)
+    print(f"\nunique (suite-exclusive) fraction: {100 * unique:.1f}%")
+    return 0
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    from .viz import render_prominent_phase_pages
+
+    result = load_characterization(args.characterization)
+    if not result.key_characteristics:
+        raise SystemExit("characterization was built with --no-ga; cannot render kiviats")
+    pages = render_prominent_phase_pages(result, Path(args.output_dir))
+    for p in pages:
+        print(p)
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .viz import write_workload_space_map
+
+    result = load_characterization(args.characterization)
+    path = write_workload_space_map(result, args.output)
+    print(path)
+    return 0
+
+
+def _cmd_subset(args: argparse.Namespace) -> int:
+    from .analysis import select_representative_benchmarks
+
+    result = load_characterization(args.characterization)
+    selection = select_representative_benchmarks(
+        result.dataset, result.clustering, args.count
+    )
+    rows = [
+        [i + 1, key, f"{100 * cov:.1f}%"]
+        for i, (key, cov) in enumerate(
+            zip(selection.benchmarks, selection.coverage)
+        )
+    ]
+    print(format_table(["pick", "benchmark", "cumulative coverage"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .analysis import PhaseBasedSimulation
+    from .uarch import MachineConfig
+
+    result = load_characterization(args.characterization)
+    config = _preset(args.preset)
+    machine = MachineConfig(predictor=args.predictor)
+    sim = PhaseBasedSimulation(result, config, machine)
+    est = sim.benchmark_cpi(args.suite, args.benchmark)
+    print(f"phase-based CPI estimate: {est:.3f}")
+    if args.full:
+        true = sim.true_benchmark_cpi(args.suite, args.benchmark)
+        err = abs(est - true) / true
+        print(f"full-simulation CPI:      {true:.3f}  (estimate error {100 * err:.1f}%)")
+    print(
+        f"simulated {sim.simulated_representatives} representatives "
+        f"(reduction ~{sim.reduction_factor():.0f}x over the sampled set)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Phase-level microarchitecture-independent workload "
+        "characterization (ISPASS 2008 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("features", help="list the 69 characteristics").set_defaults(
+        func=_cmd_features
+    )
+    sub.add_parser("suites", help="list the 77 benchmarks").set_defaults(
+        func=_cmd_suites
+    )
+
+    p = sub.add_parser("characterize", help="run the pipeline and save it")
+    p.add_argument("output", help="output .npz path")
+    p.add_argument("--preset", default="small", help="paper | small | tiny")
+    p.add_argument(
+        "--suite",
+        action="append",
+        help="restrict to a suite (repeatable); default: all 77 benchmarks",
+    )
+    p.add_argument("--no-ga", action="store_true", help="skip key-characteristic GA")
+    p.add_argument("--verbose", action="store_true", help="per-benchmark progress")
+    p.set_defaults(func=_cmd_characterize)
+
+    p = sub.add_parser("compare", help="coverage/diversity/uniqueness per suite")
+    p.add_argument("characterization", help="saved .npz from 'characterize'")
+    p.set_defaults(func=_cmd_compare)
+
+    p = sub.add_parser("phases", help="one benchmark's cluster distribution")
+    p.add_argument("characterization")
+    p.add_argument("suite")
+    p.add_argument("benchmark")
+    p.add_argument("--top", type=int, default=8, help="clusters to show")
+    p.set_defaults(func=_cmd_phases)
+
+    p = sub.add_parser("render", help="write the kiviat figure pages (SVG)")
+    p.add_argument("characterization")
+    p.add_argument("output_dir")
+    p.set_defaults(func=_cmd_render)
+
+    p = sub.add_parser("map", help="write the workload-space scatter map (SVG)")
+    p.add_argument("characterization")
+    p.add_argument("output", help="output .svg path")
+    p.set_defaults(func=_cmd_map)
+
+    p = sub.add_parser("subset", help="greedy representative-benchmark subset")
+    p.add_argument("characterization")
+    p.add_argument("--count", type=int, default=10, help="benchmarks to select")
+    p.set_defaults(func=_cmd_subset)
+
+    p = sub.add_parser("simulate", help="phase-based CPI of one benchmark")
+    p.add_argument("characterization")
+    p.add_argument("suite")
+    p.add_argument("benchmark")
+    p.add_argument("--preset", default="small", help="must match the characterization")
+    p.add_argument("--predictor", default="gshare", choices=("gshare", "bimodal"))
+    p.add_argument("--full", action="store_true", help="also run full simulation")
+    p.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

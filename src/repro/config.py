@@ -1,0 +1,140 @@
+"""Analysis configuration: every scale knob of the methodology in one place.
+
+The paper runs at "paper scale": 100M-instruction intervals, 1,000 sampled
+intervals per benchmark, k = 300 clusters, 100 prominent phases, 12 key
+characteristics.  Our default :meth:`AnalysisConfig.paper` preset keeps the
+methodology identical while scaling the raw instruction counts down to what
+a pure-Python substrate can generate (see DESIGN.md section 2); the
+:meth:`AnalysisConfig.small` and :meth:`AnalysisConfig.tiny` presets are for
+tests and quick exploration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Scale and methodology parameters for a phase-level characterization.
+
+    Attributes mirror the steps in section 2 of the paper:
+
+    * ``interval_instructions`` — instructions per interval (paper: 100M).
+    * ``intervals_per_benchmark`` — interval-sampling count (paper: 1,000).
+      Benchmarks with fewer intervals than this are sampled with
+      replacement, exactly as in the paper.
+    * ``n_clusters`` — k for k-means (paper: 300).
+    * ``n_prominent`` — number of prominent phases retained (paper: 100).
+    * ``kmeans_restarts`` — random restarts; the clustering with the best
+      BIC score wins (paper: "a number of randomly chosen initial cluster
+      centers").
+    * ``pca_min_std`` — retain principal components whose standard
+      deviation exceeds this (paper: 1.0, the Kaiser criterion).
+    * ``n_key_characteristics`` — GA-selected characteristics used for the
+      kiviat axes (paper: 12).
+    * ``ilp_sample_instructions`` / ``ppm_sample_branches`` — per-interval
+      subsample sizes for the two inherently sequential meters.
+    """
+
+    interval_instructions: int = 10_000
+    intervals_per_benchmark: int = 100
+    n_clusters: int = 300
+    n_prominent: int = 100
+    kmeans_restarts: int = 5
+    kmeans_max_iter: int = 50
+    pca_min_std: float = 1.0
+    n_key_characteristics: int = 12
+    ilp_sample_instructions: int = 2_000
+    ppm_sample_branches: int = 1_000
+    ga_populations: int = 3
+    ga_population_size: int = 24
+    ga_generations: int = 30
+    ga_stall_generations: int = 8
+    seed: int = 2008
+
+    def __post_init__(self) -> None:
+        if self.interval_instructions <= 0:
+            raise ValueError("interval_instructions must be positive")
+        if self.intervals_per_benchmark <= 0:
+            raise ValueError("intervals_per_benchmark must be positive")
+        if self.n_prominent > self.n_clusters:
+            raise ValueError("n_prominent cannot exceed n_clusters")
+        if not 0 < self.n_key_characteristics <= 69:
+            raise ValueError("n_key_characteristics must be in (0, 69]")
+
+    @classmethod
+    def paper(cls) -> "AnalysisConfig":
+        """The default scaled-down analog of the paper's setup."""
+        return cls()
+
+    @classmethod
+    def small(cls) -> "AnalysisConfig":
+        """A fast configuration for integration tests (seconds, not minutes)."""
+        return cls(
+            interval_instructions=4_000,
+            intervals_per_benchmark=12,
+            n_clusters=120,
+            n_prominent=40,
+            kmeans_restarts=2,
+            kmeans_max_iter=25,
+            n_key_characteristics=8,
+            ilp_sample_instructions=600,
+            ppm_sample_branches=300,
+            ga_populations=2,
+            ga_population_size=12,
+            ga_generations=10,
+            ga_stall_generations=4,
+        )
+
+    @classmethod
+    def tiny(cls) -> "AnalysisConfig":
+        """The smallest sane configuration, for unit tests."""
+        return cls(
+            interval_instructions=500,
+            intervals_per_benchmark=4,
+            n_clusters=8,
+            n_prominent=4,
+            kmeans_restarts=1,
+            kmeans_max_iter=10,
+            n_key_characteristics=5,
+            ilp_sample_instructions=200,
+            ppm_sample_branches=50,
+            ga_populations=1,
+            ga_population_size=8,
+            ga_generations=4,
+            ga_stall_generations=2,
+        )
+
+    def replace(self, **changes) -> "AnalysisConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    def cache_key(self) -> str:
+        """A stable hash of the fields that affect the feature matrix.
+
+        Only featurization-relevant fields participate, so changing e.g.
+        the cluster count does not invalidate a cached feature matrix.
+        """
+        relevant = {
+            "interval_instructions": self.interval_instructions,
+            "intervals_per_benchmark": self.intervals_per_benchmark,
+            "ilp_sample_instructions": self.ilp_sample_instructions,
+            "ppm_sample_branches": self.ppm_sample_branches,
+            "seed": self.seed,
+        }
+        blob = json.dumps(relevant, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    def full_key(self) -> str:
+        """A stable hash of *every* field.
+
+        Used to key cached full characterizations (clustering + GA),
+        which depend on the analysis parameters as well as the
+        featurization parameters.
+        """
+        blob = json.dumps(dataclasses.asdict(self), sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]

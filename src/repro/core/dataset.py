@@ -1,0 +1,126 @@
+"""The sampled, characterized workload data set.
+
+A :class:`WorkloadDataset` is the matrix the statistics pipeline works
+on: one row per sampled interval, one column per MICA characteristic,
+with parallel arrays recording which suite/benchmark/interval each row
+came from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import AnalysisConfig
+from ..mica import N_FEATURES, characterize_interval, feature_names
+from ..suites import Benchmark
+from .sampling import sample_interval_indices
+
+
+@dataclass
+class WorkloadDataset:
+    """Characterized sampled intervals with provenance.
+
+    Attributes:
+        features: ``(n_rows, 69)`` raw characteristic matrix.
+        suites: suite name per row.
+        benchmarks: benchmark name per row.
+        interval_indices: source interval index per row.
+    """
+
+    features: np.ndarray
+    suites: np.ndarray
+    benchmarks: np.ndarray
+    interval_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.features)
+        for name in ("suites", "benchmarks", "interval_indices"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"dataset field {name} length mismatch")
+        if self.features.ndim != 2 or self.features.shape[1] != N_FEATURES:
+            raise ValueError(f"features must be (n, {N_FEATURES})")
+
+    def __len__(self) -> int:
+        return len(self.features)
+
+    @property
+    def benchmark_keys(self) -> np.ndarray:
+        """``suite/name`` key per row."""
+        return np.char.add(np.char.add(self.suites.astype(str), "/"), self.benchmarks.astype(str))
+
+    def suite_names(self) -> List[str]:
+        """Distinct suites, in order of first appearance."""
+        seen: Dict[str, None] = {}
+        for s in self.suites:
+            seen.setdefault(str(s), None)
+        return list(seen)
+
+    def rows_for_suite(self, suite: str) -> np.ndarray:
+        """Boolean mask of the rows belonging to a suite."""
+        return self.suites == suite
+
+    def rows_for_benchmark(self, suite: str, name: str) -> np.ndarray:
+        """Boolean mask of the rows belonging to one benchmark."""
+        return (self.suites == suite) & (self.benchmarks == name)
+
+
+def build_dataset(
+    benchmarks: Sequence[Benchmark],
+    config: AnalysisConfig,
+    *,
+    progress: Optional[Callable[[str], None]] = None,
+    counts: Optional[Dict[str, int]] = None,
+) -> WorkloadDataset:
+    """Sample and characterize intervals for the given benchmarks.
+
+    For each benchmark, ``config.intervals_per_benchmark`` intervals are
+    selected (step 2 of the methodology) and characterized with the 69
+    MICA metrics (step 1).  Duplicate interval picks — which occur for
+    benchmarks shorter than the sample size — are characterized once and
+    their rows replicated.
+
+    Args:
+        benchmarks: the workloads to include.
+        config: scale parameters.
+        progress: optional callback receiving one message per benchmark.
+        counts: optional per-benchmark sample-count overrides keyed by
+            benchmark key (``suite/name``).  Used by the interval-
+            sampling ablation to weight benchmarks by their dynamic
+            length instead of equally.
+
+    Returns:
+        The assembled :class:`WorkloadDataset`.
+    """
+    if not benchmarks:
+        raise ValueError("need at least one benchmark")
+    rows: List[np.ndarray] = []
+    suites: List[str] = []
+    names: List[str] = []
+    indices: List[int] = []
+    for bench in benchmarks:
+        n_samples = config.intervals_per_benchmark
+        if counts is not None:
+            n_samples = counts.get(bench.key, n_samples)
+        picks = sample_interval_indices(bench, n_samples, seed=config.seed)
+        unique_picks, inverse = np.unique(picks, return_inverse=True)
+        vectors = np.empty((len(unique_picks), N_FEATURES), dtype=np.float64)
+        for j, interval_idx in enumerate(unique_picks):
+            trace = bench.program.interval_trace(
+                int(interval_idx), config.interval_instructions
+            )
+            vectors[j] = characterize_interval(trace, config)
+        rows.append(vectors[inverse])
+        suites.extend([bench.suite] * len(picks))
+        names.extend([bench.name] * len(picks))
+        indices.extend(int(i) for i in picks)
+        if progress is not None:
+            progress(f"characterized {bench.key}: {len(unique_picks)} unique intervals")
+    return WorkloadDataset(
+        features=np.vstack(rows),
+        suites=np.array(suites),
+        benchmarks=np.array(names),
+        interval_indices=np.array(indices, dtype=np.int64),
+    )

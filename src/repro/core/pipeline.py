@@ -1,0 +1,123 @@
+"""The end-to-end phase-level characterization pipeline.
+
+Chains the paper's six methodology steps:
+
+1. microarchitecture-independent characterization (``repro.mica``),
+2. interval sampling (``repro.core.sampling``),
+3. PCA with Kaiser retention and rescaling (``repro.stats.pca``),
+4. k-means + BIC clustering and prominent-phase selection,
+5. GA selection of the key characteristics (``repro.ga``),
+6. kiviat/pie visualization data (``repro.viz``).
+
+Steps 1-2 are performed by :func:`repro.core.dataset.build_dataset`;
+:func:`run_characterization` performs 3-5 on the resulting dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import AnalysisConfig
+from ..ga import DistanceCorrelationFitness, GAResult, select_features
+from ..mica import N_FEATURES, feature_names
+from ..stats import Clustering, fit_pca, kmeans
+from ..synth.rng import generator
+from .dataset import WorkloadDataset
+from .prominent import ProminentPhases, select_prominent_phases
+
+
+@dataclass
+class PhaseCharacterization:
+    """Everything the analyses and visualizations consume.
+
+    Attributes:
+        dataset: the sampled, characterized intervals.
+        space: rows of ``dataset`` projected into the rescaled PCA space.
+        n_components: retained principal components.
+        explained_variance: fraction of total variance they explain
+            (the paper's "85.4%").
+        clustering: the best-BIC k-means clustering of ``space``.
+        prominent: the prominent-phase selection.
+        key_characteristics: GA-selected characteristic names (kiviat
+            axes), or None if the GA step was skipped.
+        ga_result: the GA run behind ``key_characteristics``.
+    """
+
+    dataset: WorkloadDataset
+    space: np.ndarray
+    n_components: int
+    explained_variance: float
+    clustering: Clustering
+    prominent: ProminentPhases
+    key_characteristics: Optional[List[str]]
+    ga_result: Optional[GAResult]
+
+    @property
+    def prominent_matrix(self) -> np.ndarray:
+        """Raw 69-dim characteristics of the prominent-phase representatives."""
+        return self.dataset.features[self.prominent.representative_rows]
+
+
+def run_characterization(
+    dataset: WorkloadDataset,
+    config: AnalysisConfig,
+    *,
+    select_key: bool = True,
+) -> PhaseCharacterization:
+    """Run PCA, clustering, prominent-phase selection and the GA.
+
+    Args:
+        dataset: output of :func:`repro.core.dataset.build_dataset`.
+        config: methodology parameters.
+        select_key: run the GA key-characteristic selection (step 5);
+            disable for analyses that only need the clustering.
+
+    Returns:
+        The complete :class:`PhaseCharacterization`.
+    """
+    model = fit_pca(dataset.features).retained(config.pca_min_std)
+    scores = model.transform(dataset.features)
+    std = scores.std(axis=0)
+    scale = np.where(std > 0, std, 1.0)
+    space = (scores - scores.mean(axis=0)) / scale
+    explained = float(model.explained_ratio.sum())
+
+    rng = generator("kmeans", config.seed)
+    clustering = kmeans(
+        space,
+        config.n_clusters,
+        restarts=config.kmeans_restarts,
+        max_iter=config.kmeans_max_iter,
+        rng=rng,
+    )
+    prominent = select_prominent_phases(space, clustering, config.n_prominent)
+
+    key_names: Optional[List[str]] = None
+    ga_result: Optional[GAResult] = None
+    if select_key:
+        fitness = DistanceCorrelationFitness(
+            dataset.features[prominent.representative_rows],
+            pca_min_std=config.pca_min_std,
+        )
+        ga_result = select_features(
+            fitness,
+            N_FEATURES,
+            config.n_key_characteristics,
+            config=config,
+            rng=generator("ga", config.seed),
+        )
+        names = feature_names()
+        key_names = [names[i] for i in ga_result.selected_indices()]
+    return PhaseCharacterization(
+        dataset=dataset,
+        space=space,
+        n_components=model.n_components,
+        explained_variance=explained,
+        clustering=clustering,
+        prominent=prominent,
+        key_characteristics=key_names,
+        ga_result=ga_result,
+    )

@@ -1,0 +1,77 @@
+"""Prominent-phase selection (methodology step 4, second half).
+
+Clustering with k larger than the number of phases ultimately reported
+trades coverage for per-cluster variability (paper section 2.6): the
+top-weight clusters are kept as *prominent phases*, each represented by
+the interval closest to its center, weighted by the fraction of the
+data set it represents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..stats import Clustering, distances_to
+
+
+@dataclass(frozen=True)
+class ProminentPhases:
+    """The selected prominent phases.
+
+    Attributes:
+        cluster_ids: the selected cluster indices, heaviest first.
+        weights: fraction of the data set each selected cluster holds.
+        representative_rows: dataset row index of each phase
+            representative (the interval closest to the cluster center).
+        coverage: total weight of the selection — the paper's "87.8%".
+    """
+
+    cluster_ids: np.ndarray
+    weights: np.ndarray
+    representative_rows: np.ndarray
+
+    @property
+    def coverage(self) -> float:
+        return float(self.weights.sum())
+
+    def __len__(self) -> int:
+        return len(self.cluster_ids)
+
+
+def select_prominent_phases(
+    points: np.ndarray, clustering: Clustering, n_prominent: int
+) -> ProminentPhases:
+    """Pick the ``n_prominent`` heaviest clusters and their representatives.
+
+    Args:
+        points: the clustered data (rescaled PCA space), one row per
+            sampled interval.
+        clustering: a fitted clustering of ``points``.
+        n_prominent: phases to keep; clipped to the number of non-empty
+            clusters.
+
+    Returns:
+        The prominent-phase selection, heaviest cluster first.
+    """
+    if n_prominent < 1:
+        raise ValueError("n_prominent must be >= 1")
+    sizes = clustering.cluster_sizes()
+    non_empty = int(np.count_nonzero(sizes))
+    n_prominent = min(n_prominent, non_empty)
+    order = np.argsort(sizes)[::-1]
+    chosen = order[:n_prominent]
+    weights = sizes[chosen] / len(points)
+    # Representative: the member interval closest to the cluster center.
+    representatives = np.empty(n_prominent, dtype=np.int64)
+    for j, cluster in enumerate(chosen):
+        member_rows = np.flatnonzero(clustering.labels == cluster)
+        d = distances_to(points[member_rows], clustering.centers[cluster][None, :])
+        representatives[j] = member_rows[int(np.argmin(d[:, 0]))]
+    return ProminentPhases(
+        cluster_ids=chosen.astype(np.int64),
+        weights=weights.astype(np.float64),
+        representative_rows=representatives,
+    )

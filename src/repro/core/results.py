@@ -1,0 +1,128 @@
+"""Persistence for datasets and characterizations.
+
+Paper-scale featurization takes minutes; analyses and benchmarks reuse
+a cached run.  Everything round-trips through a single ``.npz`` file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..stats import Clustering
+from .dataset import WorkloadDataset
+from .pipeline import PhaseCharacterization
+from .prominent import ProminentPhases
+
+PathLike = Union[str, Path]
+
+
+def save_dataset(dataset: WorkloadDataset, path: PathLike) -> None:
+    """Write a dataset to ``path`` (npz)."""
+    np.savez_compressed(
+        path,
+        features=dataset.features,
+        suites=dataset.suites.astype(str),
+        benchmarks=dataset.benchmarks.astype(str),
+        interval_indices=dataset.interval_indices,
+    )
+
+
+def load_dataset(path: PathLike) -> WorkloadDataset:
+    """Read a dataset written by :func:`save_dataset`."""
+    with np.load(path, allow_pickle=False) as data:
+        return WorkloadDataset(
+            features=data["features"],
+            suites=data["suites"],
+            benchmarks=data["benchmarks"],
+            interval_indices=data["interval_indices"],
+        )
+
+
+def save_characterization(result: PhaseCharacterization, path: PathLike) -> None:
+    """Write a full characterization to ``path`` (npz)."""
+    key = result.key_characteristics or []
+    history = result.ga_result.history if result.ga_result else []
+    ga_fitness = result.ga_result.fitness if result.ga_result else float("nan")
+    meta = json.dumps(
+        {
+            "n_components": result.n_components,
+            "explained_variance": result.explained_variance,
+            "key_characteristics": key,
+            "ga_fitness": ga_fitness,
+            "ga_history": list(history),
+            "bic": result.clustering.bic,
+            "inertia": result.clustering.inertia,
+            "n_iter": result.clustering.n_iter,
+        }
+    )
+    np.savez_compressed(
+        path,
+        features=result.dataset.features,
+        suites=result.dataset.suites.astype(str),
+        benchmarks=result.dataset.benchmarks.astype(str),
+        interval_indices=result.dataset.interval_indices,
+        space=result.space,
+        labels=result.clustering.labels,
+        centers=result.clustering.centers,
+        prominent_cluster_ids=result.prominent.cluster_ids,
+        prominent_weights=result.prominent.weights,
+        prominent_representatives=result.prominent.representative_rows,
+        meta=np.array(meta),
+    )
+
+
+def load_characterization(path: PathLike) -> PhaseCharacterization:
+    """Read a characterization written by :func:`save_characterization`.
+
+    The GA internals (mask/populations) are not persisted — only the
+    selected names and the fitness history, which is what the analyses
+    and figures need.
+    """
+    from ..ga import GAResult  # local import to avoid cycles
+    from ..mica import FEATURE_INDEX, N_FEATURES
+
+    with np.load(path, allow_pickle=False) as data:
+        meta = json.loads(str(data["meta"]))
+        dataset = WorkloadDataset(
+            features=data["features"],
+            suites=data["suites"],
+            benchmarks=data["benchmarks"],
+            interval_indices=data["interval_indices"],
+        )
+        clustering = Clustering(
+            centers=data["centers"],
+            labels=data["labels"],
+            bic=float(meta["bic"]),
+            inertia=float(meta["inertia"]),
+            n_iter=int(meta["n_iter"]),
+        )
+        prominent = ProminentPhases(
+            cluster_ids=data["prominent_cluster_ids"],
+            weights=data["prominent_weights"],
+            representative_rows=data["prominent_representatives"],
+        )
+        key = meta["key_characteristics"] or None
+        ga_result = None
+        if key is not None:
+            mask = np.zeros(N_FEATURES, dtype=bool)
+            for name in key:
+                mask[FEATURE_INDEX[name]] = True
+            ga_result = GAResult(
+                mask=mask,
+                fitness=float(meta["ga_fitness"]),
+                history=[float(h) for h in meta["ga_history"]],
+            )
+        return PhaseCharacterization(
+            dataset=dataset,
+            space=data["space"],
+            n_components=int(meta["n_components"]),
+            explained_variance=float(meta["explained_variance"]),
+            clustering=clustering,
+            prominent=prominent,
+            key_characteristics=key,
+            ga_result=ga_result,
+        )

@@ -1,0 +1,35 @@
+"""Interval sampling (methodology step 2).
+
+A fixed number of intervals is selected per benchmark so every
+benchmark carries equal weight in the analysis, regardless of its
+dynamic instruction count or number of inputs.  Benchmarks with fewer
+intervals than the sample size contribute intervals multiple times,
+exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..suites import Benchmark
+from ..synth.rng import generator
+
+
+def sample_interval_indices(
+    benchmark: Benchmark, n_samples: int, *, seed: int
+) -> np.ndarray:
+    """Select ``n_samples`` interval indices for a benchmark.
+
+    Sampling is without replacement while the benchmark has enough
+    intervals, with replacement otherwise.  The selection is
+    deterministic per ``(seed, benchmark)``.
+    """
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    rng = generator("sampling", seed, benchmark.suite, benchmark.name)
+    n = benchmark.n_intervals
+    if n >= n_samples:
+        picks = rng.choice(n, size=n_samples, replace=False)
+    else:
+        picks = rng.choice(n, size=n_samples, replace=True)
+    return np.sort(picks).astype(np.int64)

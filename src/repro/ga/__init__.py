@@ -1,0 +1,11 @@
+"""Genetic algorithm for key-characteristic selection."""
+
+from .fitness import DistanceCorrelationFitness
+from .selection import GAResult, correlation_curve, select_features
+
+__all__ = [
+    "DistanceCorrelationFitness",
+    "GAResult",
+    "correlation_curve",
+    "select_features",
+]

@@ -1,0 +1,56 @@
+"""GA fitness: distance preservation under feature subsetting.
+
+The paper's fitness for a candidate characteristic subset is the
+Pearson correlation between (a) the pairwise distances of the prominent
+phases in the workload space built from *all* characteristics and (b)
+their distances in the space built from only the *selected*
+characteristics.  Both spaces are constructed with the full
+normalize → PCA → retain → rescale pipeline, "to discount the
+correlation between program characteristics ... from the distance
+measure".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..stats import condensed_distances, pearson, rescaled_pca_space
+
+
+class DistanceCorrelationFitness:
+    """Callable fitness evaluating subsets against a reference space.
+
+    Args:
+        phase_matrix: raw characteristics of the prominent phases,
+            shape ``(n_phases, n_features)``.
+        pca_min_std: retention threshold used in both spaces.
+    """
+
+    def __init__(self, phase_matrix: np.ndarray, *, pca_min_std: float = 1.0) -> None:
+        if phase_matrix.ndim != 2 or len(phase_matrix) < 3:
+            raise ValueError("need at least 3 phases to correlate distances")
+        self.phase_matrix = np.asarray(phase_matrix, dtype=np.float64)
+        self.pca_min_std = pca_min_std
+        reference_space = rescaled_pca_space(self.phase_matrix, min_std=pca_min_std)
+        self.reference_distances = condensed_distances(reference_space)
+        self._cache = {}
+
+    @property
+    def n_features(self) -> int:
+        return self.phase_matrix.shape[1]
+
+    def __call__(self, mask: np.ndarray) -> float:
+        """Fitness of a boolean feature mask (higher is better)."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n_features,):
+            raise ValueError("mask has the wrong length")
+        if not mask.any():
+            return -1.0
+        key = mask.tobytes()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        sub_space = rescaled_pca_space(self.phase_matrix[:, mask], min_std=self.pca_min_std)
+        score = pearson(condensed_distances(sub_space), self.reference_distances)
+        self._cache[key] = score
+        return score

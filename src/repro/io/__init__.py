@@ -1,0 +1,17 @@
+"""Persistence helpers: dataset caching and text tables."""
+
+from .cache import (
+    cached_characterization,
+    cached_dataset,
+    characterization_cache_path,
+    dataset_cache_path,
+)
+from .tables import format_table
+
+__all__ = [
+    "cached_characterization",
+    "cached_dataset",
+    "characterization_cache_path",
+    "dataset_cache_path",
+    "format_table",
+]

@@ -1,0 +1,94 @@
+"""Disk caching of characterized datasets, keyed by configuration.
+
+Paper-scale featurization takes minutes; the benchmark harness and the
+examples share a cache directory so a given configuration is
+characterized exactly once per machine.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Union
+
+from ..config import AnalysisConfig
+from ..core import (
+    PhaseCharacterization,
+    WorkloadDataset,
+    build_dataset,
+    load_characterization,
+    load_dataset,
+    run_characterization,
+    save_characterization,
+    save_dataset,
+)
+from ..suites import Benchmark, all_benchmarks
+
+PathLike = Union[str, Path]
+
+
+def dataset_cache_path(cache_dir: PathLike, config: AnalysisConfig, *, tag: str = "all") -> Path:
+    """The cache file for a configuration (+ optional benchmark tag)."""
+    return Path(cache_dir) / f"dataset_{tag}_{config.cache_key()}.npz"
+
+
+def cached_dataset(
+    config: AnalysisConfig,
+    cache_dir: PathLike,
+    *,
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    tag: str = "all",
+    progress: Optional[Callable[[str], None]] = None,
+) -> WorkloadDataset:
+    """Load the dataset for ``config`` from cache, building on a miss.
+
+    Args:
+        config: the featurization configuration (its
+            :meth:`~repro.config.AnalysisConfig.cache_key` keys the file).
+        cache_dir: cache directory (created if needed).
+        benchmarks: workloads to characterize; defaults to all 77.
+        tag: distinguishes non-default benchmark selections sharing a
+            cache directory.
+        progress: optional per-benchmark progress callback.
+    """
+    path = dataset_cache_path(cache_dir, config, tag=tag)
+    if path.exists():
+        return load_dataset(path)
+    if benchmarks is None:
+        benchmarks = all_benchmarks()
+    dataset = build_dataset(benchmarks, config, progress=progress)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_dataset(dataset, path)
+    return dataset
+
+
+def characterization_cache_path(
+    cache_dir: PathLike, config: AnalysisConfig, *, tag: str = "all"
+) -> Path:
+    """The cache file for a full characterization."""
+    return Path(cache_dir) / f"characterization_{tag}_{config.full_key()}.npz"
+
+
+def cached_characterization(
+    config: AnalysisConfig,
+    cache_dir: PathLike,
+    *,
+    benchmarks: Optional[Sequence[Benchmark]] = None,
+    tag: str = "all",
+    select_key: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
+) -> PhaseCharacterization:
+    """Load a full characterization from cache, running on a miss.
+
+    The dataset layer has its own cache, so a changed analysis
+    parameter (e.g. cluster count) re-clusters without re-featurizing.
+    """
+    path = characterization_cache_path(cache_dir, config, tag=tag)
+    if path.exists():
+        return load_characterization(path)
+    dataset = cached_dataset(
+        config, cache_dir, benchmarks=benchmarks, tag=tag, progress=progress
+    )
+    result = run_characterization(dataset, config, select_key=select_key)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    save_characterization(result, path)
+    return result

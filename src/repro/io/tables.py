@@ -1,0 +1,56 @@
+"""Plain-text table formatting for bench output and examples."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    align_right: Sequence[bool] = None,
+) -> str:
+    """Render a padded text table.
+
+    Args:
+        headers: column titles.
+        rows: row cells (stringified with ``str``).
+        align_right: per-column right-alignment flags; defaults to
+            right-aligning everything that parses as a number.
+
+    Returns:
+        The table as a single string (no trailing newline).
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    n_cols = len(headers)
+    for row in str_rows:
+        if len(row) != n_cols:
+            raise ValueError("row width does not match headers")
+    if align_right is None:
+        align_right = []
+        for col in range(n_cols):
+            numeric = all(_is_number(row[col]) for row in str_rows) if str_rows else False
+            align_right.append(numeric)
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(n_cols)
+    ]
+    lines = []
+    lines.append("  ".join(_pad(headers[c], widths[c], align_right[c]) for c in range(n_cols)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(_pad(row[c], widths[c], align_right[c]) for c in range(n_cols)))
+    return "\n".join(lines)
+
+
+def _pad(s: str, width: int, right: bool) -> str:
+    return s.rjust(width) if right else s.ljust(width)
+
+
+def _is_number(s: str) -> bool:
+    try:
+        float(s.rstrip("%"))
+    except ValueError:
+        return False
+    return True

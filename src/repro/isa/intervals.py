@@ -1,0 +1,56 @@
+"""Splitting traces into fixed-size instruction intervals.
+
+The paper characterizes programs per 100M-instruction interval; the
+interval size here is a parameter (see :class:`repro.config.AnalysisConfig`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from .trace import Trace
+
+
+def split_intervals(trace: Trace, interval_instructions: int, *, drop_partial: bool = True) -> List[Trace]:
+    """Split ``trace`` into consecutive intervals of the given size.
+
+    Args:
+        trace: the dynamic instruction trace.
+        interval_instructions: instructions per interval; must be positive.
+        drop_partial: when True (the default, matching the paper's
+            fixed-size intervals) a trailing partial interval is dropped.
+
+    Returns:
+        The list of interval sub-traces, in execution order.
+    """
+    if interval_instructions <= 0:
+        raise ValueError("interval_instructions must be positive")
+    n = len(trace)
+    intervals = [
+        trace.slice(start, start + interval_instructions)
+        for start in range(0, n - interval_instructions + 1, interval_instructions)
+    ]
+    if not drop_partial:
+        remainder = n % interval_instructions
+        if remainder:
+            intervals.append(trace.slice(n - remainder, n))
+    return intervals
+
+
+def iter_interval_bounds(total_instructions: int, interval_instructions: int) -> Iterator[tuple]:
+    """Yield ``(start, stop)`` bounds of the full intervals in a run.
+
+    This is the allocation-free companion of :func:`split_intervals` used
+    when the trace for each interval is generated on demand.
+    """
+    if interval_instructions <= 0:
+        raise ValueError("interval_instructions must be positive")
+    for start in range(0, total_instructions - interval_instructions + 1, interval_instructions):
+        yield start, start + interval_instructions
+
+
+def interval_count(total_instructions: int, interval_instructions: int) -> int:
+    """Number of full intervals in a run of ``total_instructions``."""
+    if interval_instructions <= 0:
+        raise ValueError("interval_instructions must be positive")
+    return total_instructions // interval_instructions

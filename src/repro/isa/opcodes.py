@@ -1,0 +1,80 @@
+"""Abstract-ISA opcode classes.
+
+MICA-style microarchitecture-independent characterization only needs the
+*class* of each dynamic instruction (is it a load, a store, a branch, an
+integer multiply, ...), its register operands, its effective address when it
+touches memory, its static program counter, and — for branches — whether it
+was taken.  This module defines the opcode-class vocabulary shared by the
+trace substrate (:mod:`repro.synth`) and the meters (:mod:`repro.mica`).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class OpClass(enum.IntEnum):
+    """The abstract instruction classes of the trace substrate.
+
+    Values are dense small integers so traces can store them as ``uint8``
+    and meters can use ``numpy.bincount``.
+    """
+
+    LOAD = 0
+    STORE = 1
+    BRANCH = 2
+    CALL = 3
+    IADD = 4
+    IMUL = 5
+    IDIV = 6
+    SHIFT = 7
+    LOGIC = 8
+    FADD = 9
+    FMUL = 10
+    FDIV = 11
+    FSQRT = 12
+    CMOV = 13
+    OTHER = 14
+
+
+N_OP_CLASSES = len(OpClass)
+
+#: Opcode classes that access data memory.
+MEMORY_OPS = (OpClass.LOAD, OpClass.STORE)
+
+#: Opcode classes that transfer control.
+CONTROL_OPS = (OpClass.BRANCH, OpClass.CALL)
+
+#: Integer arithmetic classes.
+INT_ARITH_OPS = (OpClass.IADD, OpClass.IMUL, OpClass.IDIV, OpClass.SHIFT, OpClass.LOGIC)
+
+#: Floating-point arithmetic classes.
+FP_ARITH_OPS = (OpClass.FADD, OpClass.FMUL, OpClass.FDIV, OpClass.FSQRT)
+
+#: Number of architectural registers in the abstract ISA.  Sixty-four
+#: general registers is enough to model both integer and floating-point
+#: register files without the meters having to distinguish them.
+N_REGISTERS = 64
+
+#: Sentinel for "no register operand" in src/dst fields.
+NO_REG = -1
+
+#: Sentinel for "no memory access" in the address field.
+NO_ADDR = -1
+
+
+def op_class_names() -> list:
+    """Return the opcode-class names in value order."""
+    return [op.name for op in sorted(OpClass, key=int)]
+
+
+def is_memory_op(op: np.ndarray) -> np.ndarray:
+    """Vectorized: True where ``op`` is a load or store."""
+    return (op == OpClass.LOAD) | (op == OpClass.STORE)
+
+
+def is_control_op(op: np.ndarray) -> np.ndarray:
+    """Vectorized: True where ``op`` is a branch or call."""
+    return (op == OpClass.BRANCH) | (op == OpClass.CALL)

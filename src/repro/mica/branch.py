@@ -1,0 +1,49 @@
+"""Branch-behaviour meter: taken/transition rates and PPM miss rates."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import OpClass, Trace
+from .ppm import measure_ppm
+
+
+def transition_rate(pcs: np.ndarray, outcomes: np.ndarray) -> float:
+    """Fraction of dynamic branch executions that change direction.
+
+    A transition is a branch whose outcome differs from the previous
+    outcome of the *same static branch*.  Highly biased or loop branches
+    transition rarely; alternating branches transition every time.
+    """
+    if len(pcs) < 2:
+        return 0.0
+    order = np.argsort(pcs, kind="stable")
+    sorted_pcs = pcs[order]
+    sorted_out = outcomes[order]
+    same = sorted_pcs[1:] == sorted_pcs[:-1]
+    changed = sorted_out[1:] != sorted_out[:-1]
+    pairs = int(np.count_nonzero(same))
+    if pairs == 0:
+        return 0.0
+    return float(np.count_nonzero(changed & same)) / pairs
+
+
+def measure_branch(trace: Trace, *, sample_branches: int = 1_000) -> Dict[str, float]:
+    """Return the 14 branch-predictability features for an interval.
+
+    Taken/transition rates use every conditional branch in the interval;
+    the PPM pass (sequential) uses the first ``sample_branches`` of them.
+    """
+    if len(trace) == 0:
+        raise ValueError("cannot characterize an empty trace")
+    mask = trace.op == OpClass.BRANCH
+    pcs = trace.pc[mask]
+    outcomes = trace.taken[mask]
+    out: Dict[str, float] = {
+        "br_taken_rate": float(outcomes.mean()) if len(outcomes) else 0.0,
+        "br_transition_rate": transition_rate(pcs, outcomes),
+    }
+    out.update(measure_ppm(pcs[:sample_branches], outcomes[:sample_branches]))
+    return out

@@ -1,0 +1,40 @@
+"""Memory-footprint meter.
+
+Counts the unique 64-byte blocks and 4KB pages touched by the
+instruction stream (PCs) and the data stream (effective addresses).
+Reported as ``log2(1 + count)``: footprints span orders of magnitude,
+and a log scale keeps the subsequent normalize/PCA steps from being
+dominated by the largest-footprint intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from ..isa import Trace, is_memory_op
+
+BLOCK_SHIFT = 6  # 64-byte blocks
+PAGE_SHIFT = 12  # 4KB pages
+
+
+def _log_unique(addresses: np.ndarray, shift: int) -> float:
+    if len(addresses) == 0:
+        return 0.0
+    count = len(np.unique(addresses >> shift))
+    return math.log2(1 + count)
+
+
+def measure_footprint(trace: Trace) -> Dict[str, float]:
+    """Return the 4 memory-footprint features for a trace interval."""
+    if len(trace) == 0:
+        raise ValueError("cannot characterize an empty trace")
+    data_addr = trace.addr[is_memory_op(trace.op)]
+    return {
+        "foot_instr_64b": _log_unique(trace.pc, BLOCK_SHIFT),
+        "foot_instr_4k": _log_unique(trace.pc, PAGE_SHIFT),
+        "foot_data_64b": _log_unique(data_addr, BLOCK_SHIFT),
+        "foot_data_4k": _log_unique(data_addr, PAGE_SHIFT),
+    }

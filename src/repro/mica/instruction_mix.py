@@ -1,0 +1,52 @@
+"""Instruction-mix meter: 20 dynamic opcode-class fractions."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..isa import N_OP_CLASSES, OpClass, Trace
+
+
+def measure_instruction_mix(trace: Trace) -> Dict[str, float]:
+    """Return the 20 instruction-mix features for a trace interval.
+
+    All values are fractions of the dynamic instruction count, so they
+    are scale-free (independent of the interval size).
+    """
+    n = len(trace)
+    if n == 0:
+        raise ValueError("cannot characterize an empty trace")
+    counts = np.bincount(trace.op, minlength=N_OP_CLASSES).astype(np.float64)
+    frac = counts / n
+
+    def f(op: OpClass) -> float:
+        return float(frac[int(op)])
+
+    int_arith = (
+        f(OpClass.IADD) + f(OpClass.IMUL) + f(OpClass.IDIV) + f(OpClass.SHIFT) + f(OpClass.LOGIC)
+    )
+    fp_arith = f(OpClass.FADD) + f(OpClass.FMUL) + f(OpClass.FDIV) + f(OpClass.FSQRT)
+    return {
+        "mix_mem_read": f(OpClass.LOAD),
+        "mix_mem_write": f(OpClass.STORE),
+        "mix_mem": f(OpClass.LOAD) + f(OpClass.STORE),
+        "mix_branch": f(OpClass.BRANCH),
+        "mix_call": f(OpClass.CALL),
+        "mix_int_add": f(OpClass.IADD),
+        "mix_int_mul": f(OpClass.IMUL),
+        "mix_int_div": f(OpClass.IDIV),
+        "mix_shift": f(OpClass.SHIFT),
+        "mix_logic": f(OpClass.LOGIC),
+        "mix_int_arith": int_arith,
+        "mix_fp_add": f(OpClass.FADD),
+        "mix_fp_mul": f(OpClass.FMUL),
+        "mix_fp_div": f(OpClass.FDIV),
+        "mix_fp_sqrt": f(OpClass.FSQRT),
+        "mix_fp_arith": fp_arith,
+        "mix_cmov": f(OpClass.CMOV),
+        "mix_other": f(OpClass.OTHER),
+        "mix_mul": f(OpClass.IMUL) + f(OpClass.FMUL),
+        "mix_div": f(OpClass.IDIV) + f(OpClass.FDIV),
+    }

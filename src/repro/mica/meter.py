@@ -1,0 +1,40 @@
+"""The top-level MICA meter: one trace interval -> one 69-dim vector."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..config import AnalysisConfig
+from ..isa import Trace
+from .branch import measure_branch
+from .features import N_FEATURES, feature_vector
+from .footprint import measure_footprint
+from .ilp import measure_ilp
+from .instruction_mix import measure_instruction_mix
+from .register_traffic import measure_register_traffic
+from .strides import measure_strides
+
+
+def characterize_interval(trace: Trace, config: AnalysisConfig) -> np.ndarray:
+    """Measure all 69 microarchitecture-independent characteristics.
+
+    Args:
+        trace: one instruction interval.
+        config: supplies the ILP/PPM subsample sizes.
+
+    Returns:
+        The canonical 69-element feature vector (float64).
+    """
+    values: Dict[str, float] = {}
+    values.update(measure_instruction_mix(trace))
+    values.update(measure_ilp(trace, sample_instructions=config.ilp_sample_instructions))
+    values.update(measure_register_traffic(trace))
+    values.update(measure_footprint(trace))
+    values.update(measure_strides(trace))
+    values.update(measure_branch(trace, sample_branches=config.ppm_sample_branches))
+    vec = feature_vector(values)
+    if len(vec) != N_FEATURES:
+        raise AssertionError("feature vector has wrong dimensionality")
+    return vec

@@ -1,0 +1,67 @@
+"""Data-stream stride meter.
+
+Measures the distribution of memory-access strides, in the paper's two
+senses, separately for loads and stores:
+
+* **global stride** — address difference between *consecutive memory
+  accesses* of the same kind (read/write), regardless of which static
+  instruction issued them;
+* **local stride** — address difference between consecutive accesses
+  *by the same static instruction* (same PC).
+
+Each distribution is summarized as cumulative probabilities
+``P(|stride| <= bucket)``.  Fully vectorized (lexsort + diff).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..isa import OpClass, Trace
+
+GLOBAL_BUCKETS = (0, 64, 4096, 262144)
+LOCAL_BUCKETS = (0, 8, 64, 512, 4096)
+
+
+def _cumulative(strides: np.ndarray, buckets: Sequence[int]) -> Dict[int, float]:
+    out = {}
+    n = len(strides)
+    for b in buckets:
+        out[b] = (float(np.count_nonzero(strides <= b)) / n) if n else 0.0
+    return out
+
+
+def _global_strides(addr: np.ndarray) -> np.ndarray:
+    if len(addr) < 2:
+        return np.empty(0, dtype=np.int64)
+    return np.abs(np.diff(addr))
+
+
+def _local_strides(pc: np.ndarray, addr: np.ndarray) -> np.ndarray:
+    if len(addr) < 2:
+        return np.empty(0, dtype=np.int64)
+    # Stable sort by PC preserves program order within each PC group.
+    order = np.argsort(pc, kind="stable")
+    pc_sorted = pc[order]
+    addr_sorted = addr[order]
+    diffs = np.abs(np.diff(addr_sorted))
+    same_pc = pc_sorted[1:] == pc_sorted[:-1]
+    return diffs[same_pc]
+
+
+def measure_strides(trace: Trace) -> Dict[str, float]:
+    """Return the 18 stride features for a trace interval."""
+    if len(trace) == 0:
+        raise ValueError("cannot characterize an empty trace")
+    out: Dict[str, float] = {}
+    for kind, op in (("l", OpClass.LOAD), ("s", OpClass.STORE)):
+        mask = trace.op == op
+        addr = trace.addr[mask]
+        pc = trace.pc[mask]
+        for b, p in _cumulative(_global_strides(addr), GLOBAL_BUCKETS).items():
+            out[f"stride_g{kind}_le{b}"] = p
+        for b, p in _cumulative(_local_strides(pc, addr), LOCAL_BUCKETS).items():
+            out[f"stride_l{kind}_le{b}"] = p
+    return out

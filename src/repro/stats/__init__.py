@@ -1,0 +1,23 @@
+"""Statistics: normalization, PCA, k-means + BIC, distances, correlation."""
+
+from .bic import kmeans_bic
+from .correlation import pearson
+from .distance import condensed_distances, distances_to, pairwise_distances
+from .kmeans import Clustering, kmeans
+from .normalize import Normalizer, normalize
+from .pca import PCAModel, fit_pca, rescaled_pca_space
+
+__all__ = [
+    "Clustering",
+    "Normalizer",
+    "PCAModel",
+    "condensed_distances",
+    "distances_to",
+    "fit_pca",
+    "kmeans",
+    "kmeans_bic",
+    "normalize",
+    "pairwise_distances",
+    "pearson",
+    "rescaled_pca_space",
+]

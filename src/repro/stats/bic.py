@@ -1,0 +1,47 @@
+"""Bayesian Information Criterion scoring for k-means clusterings.
+
+The paper runs k-means from several random initializations and keeps
+the clustering with the highest BIC score — "a measure that trades off
+goodness of fit ... versus the number of clusters".  We use the
+identical-spherical-Gaussian BIC of Pelleg & Moore (X-means, ICML 2000).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def kmeans_bic(points: np.ndarray, labels: np.ndarray, centers: np.ndarray) -> float:
+    """BIC of a k-means clustering (higher is better).
+
+    Args:
+        points: ``(n, d)`` data.
+        labels: cluster index per point.
+        centers: ``(k, d)`` cluster centers.
+
+    Returns:
+        The BIC score; ``-inf`` when the clustering is degenerate
+        (fewer points than clusters).
+    """
+    n, d = points.shape
+    k = len(centers)
+    if n <= k:
+        return float("-inf")
+    diffs = points - centers[labels]
+    sse = float(np.sum(diffs**2))
+    # Pooled maximum-likelihood variance of the spherical model.
+    sigma2 = sse / (d * (n - k))
+    if sigma2 <= 0:
+        sigma2 = 1e-12
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    nonzero = counts[counts > 0]
+    log_likelihood = (
+        float(np.sum(nonzero * np.log(nonzero)))
+        - n * math.log(n)
+        - n * d / 2.0 * math.log(2.0 * math.pi * sigma2)
+        - (n - k) * d / 2.0
+    )
+    n_params = (k - 1) + k * d + 1
+    return log_likelihood - n_params / 2.0 * math.log(n)

@@ -1,0 +1,26 @@
+"""Pearson correlation, the GA's fitness measure."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pearson(x: np.ndarray, y: np.ndarray) -> float:
+    """Pearson correlation coefficient of two equal-length vectors.
+
+    Returns 0.0 when either vector is constant (the correlation is
+    undefined; for the GA's purposes a constant distance vector carries
+    no information and deserves the worst score).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("expected two 1-D vectors of equal length")
+    if len(x) < 2:
+        raise ValueError("correlation requires at least two samples")
+    xd = x - x.mean()
+    yd = y - y.mean()
+    denom = np.sqrt((xd**2).sum() * (yd**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((xd * yd).sum() / denom)

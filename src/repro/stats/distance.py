@@ -1,0 +1,48 @@
+"""Euclidean distance computations in the rescaled PCA space."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Full symmetric Euclidean distance matrix of the rows.
+
+    Uses the expanded-norm identity with clipping so tiny negative
+    round-off never produces NaNs.
+    """
+    if points.ndim != 2:
+        raise ValueError("expected a 2-D matrix of points")
+    sq = np.sum(points**2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (points @ points.T)
+    np.clip(d2, 0.0, None, out=d2)
+    d = np.sqrt(d2)
+    np.fill_diagonal(d, 0.0)
+    return d
+
+
+def condensed_distances(points: np.ndarray) -> np.ndarray:
+    """Upper-triangular (condensed) pairwise distances of the rows.
+
+    The condensed form is what the GA fitness correlates: it contains
+    each pair exactly once.
+    """
+    full = pairwise_distances(points)
+    iu = np.triu_indices(len(full), k=1)
+    return full[iu]
+
+
+def distances_to(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Distance of every point (row) to every center (row).
+
+    Returns shape ``(n_points, n_centers)``.
+    """
+    if points.ndim != 2 or centers.ndim != 2:
+        raise ValueError("expected 2-D matrices")
+    if points.shape[1] != centers.shape[1]:
+        raise ValueError("points and centers must share dimensionality")
+    p_sq = np.sum(points**2, axis=1)[:, None]
+    c_sq = np.sum(centers**2, axis=1)[None, :]
+    d2 = p_sq + c_sq - 2.0 * (points @ centers.T)
+    np.clip(d2, 0.0, None, out=d2)
+    return np.sqrt(d2)

@@ -1,0 +1,129 @@
+"""K-means clustering with BIC-scored random restarts.
+
+Implements the paper's clustering step: Lloyd's algorithm from randomly
+chosen initial centers, iterated to convergence, repeated from several
+initializations, keeping the clustering with the highest BIC score.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .bic import kmeans_bic
+from .distance import distances_to
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """A fitted clustering.
+
+    Attributes:
+        centers: ``(k, d)`` cluster centers.
+        labels: cluster index per input row.
+        bic: the clustering's BIC score.
+        inertia: total within-cluster sum of squared distances.
+        n_iter: Lloyd iterations to convergence in the winning restart.
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    bic: float
+    inertia: float
+    n_iter: int
+
+    @property
+    def k(self) -> int:
+        return len(self.centers)
+
+    def cluster_sizes(self) -> np.ndarray:
+        """Number of points per cluster."""
+        return np.bincount(self.labels, minlength=self.k)
+
+    def representatives(self, points: np.ndarray) -> np.ndarray:
+        """Index of the point closest to each center (the paper's
+        cluster representative)."""
+        d = distances_to(points, self.centers)
+        return np.argmin(d, axis=0)
+
+
+def _lloyd(
+    points: np.ndarray,
+    init_centers: np.ndarray,
+    max_iter: int,
+) -> tuple:
+    centers = init_centers.copy()
+    labels = np.zeros(len(points), dtype=np.int64)
+    for iteration in range(1, max_iter + 1):
+        d = distances_to(points, centers)
+        new_labels = np.argmin(d, axis=1)
+        # Re-seed empty clusters with the points farthest from their
+        # centers, so k stays k.
+        counts = np.bincount(new_labels, minlength=len(centers))
+        empties = np.flatnonzero(counts == 0)
+        if len(empties):
+            assigned_d = d[np.arange(len(points)), new_labels]
+            farthest = np.argsort(assigned_d)[::-1]
+            for j, cluster in enumerate(empties):
+                idx = farthest[j % len(farthest)]
+                centers[cluster] = points[idx]
+                new_labels[idx] = cluster
+        if iteration > 1 and np.array_equal(new_labels, labels):
+            labels = new_labels
+            break
+        labels = new_labels
+        for cluster in range(len(centers)):
+            members = points[labels == cluster]
+            if len(members):
+                centers[cluster] = members.mean(axis=0)
+    inertia = float(
+        np.sum((points - centers[labels]) ** 2)
+    )
+    return centers, labels, inertia, iteration
+
+
+def kmeans(
+    points: np.ndarray,
+    k: int,
+    *,
+    restarts: int = 5,
+    max_iter: int = 50,
+    rng: np.random.Generator,
+) -> Clustering:
+    """Cluster ``points`` into ``k`` clusters, keeping the best-BIC run.
+
+    Args:
+        points: ``(n, d)`` data (typically the rescaled PCA space).
+        k: number of clusters; clipped to ``n`` if larger.
+        restarts: independent random initializations.
+        max_iter: Lloyd iteration cap per restart.
+        rng: randomness for the initializations.
+
+    Returns:
+        The :class:`Clustering` with the highest BIC score.
+    """
+    if points.ndim != 2 or len(points) == 0:
+        raise ValueError("expected a non-empty 2-D matrix")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if restarts < 1:
+        raise ValueError("restarts must be >= 1")
+    if max_iter < 1:
+        raise ValueError("max_iter must be >= 1")
+    k = min(k, len(points))
+    best: Optional[Clustering] = None
+    for _ in range(restarts):
+        init_idx = rng.choice(len(points), size=k, replace=False)
+        centers, labels, inertia, n_iter = _lloyd(points, points[init_idx], max_iter)
+        bic = kmeans_bic(points, labels, centers)
+        if best is None or bic > best.bic:
+            best = Clustering(
+                centers=centers,
+                labels=labels,
+                bic=bic,
+                inertia=inertia,
+                n_iter=n_iter,
+            )
+    return best

@@ -1,0 +1,53 @@
+"""Column normalization (z-scoring) for the characterization pipeline.
+
+The paper normalizes twice: the raw characteristics before PCA (to put
+all characteristics on a common scale) and the retained principal
+components after PCA (to give all underlying program characteristics
+equal weight — the "rescaled PCA space").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Normalizer:
+    """A fitted column z-scorer.
+
+    Zero-variance columns get unit scale so they map to zero instead of
+    NaN — constant characteristics carry no information but must not
+    poison the pipeline.
+    """
+
+    mean: np.ndarray
+    scale: np.ndarray
+
+    @classmethod
+    def fit(cls, matrix: np.ndarray) -> "Normalizer":
+        """Fit to the columns of ``matrix`` (rows = observations)."""
+        if matrix.ndim != 2:
+            raise ValueError("expected a 2-D matrix")
+        if matrix.shape[0] == 0:
+            raise ValueError("cannot fit a normalizer to zero rows")
+        mean = matrix.mean(axis=0)
+        std = matrix.std(axis=0)
+        # Columns whose spread is at floating-point noise level relative
+        # to their magnitude are effectively constant; z-scoring them
+        # would amplify rounding residue into huge values.
+        tol = 1e-12 * np.maximum(1.0, np.abs(mean))
+        scale = np.where(std > tol, std, 1.0)
+        return cls(mean=mean, scale=scale)
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Z-score ``matrix`` with the fitted statistics."""
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.mean):
+            raise ValueError("matrix shape does not match the fitted normalizer")
+        return (matrix - self.mean) / self.scale
+
+
+def normalize(matrix: np.ndarray) -> np.ndarray:
+    """Fit-and-transform convenience wrapper."""
+    return Normalizer.fit(matrix).transform(matrix)

@@ -1,0 +1,99 @@
+"""Principal components analysis via singular value decomposition.
+
+Implements the paper's PCA step: transform the (normalized)
+characteristics into uncorrelated principal components ordered by
+variance, retain the components whose standard deviation exceeds a
+threshold (1.0 — the Kaiser criterion on a correlation-matrix PCA), and
+re-normalize the retained scores to produce the *rescaled PCA space* in
+which all distances are computed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .normalize import Normalizer
+
+
+@dataclass(frozen=True)
+class PCAModel:
+    """A fitted PCA: loadings, per-component standard deviations.
+
+    ``components`` has shape ``(n_features, n_components)``; column j is
+    the loading vector of principal component j.  ``stds`` are the
+    standard deviations of the component scores on the fitted data.
+    """
+
+    normalizer: Normalizer
+    components: np.ndarray
+    stds: np.ndarray
+    explained_ratio: np.ndarray
+
+    @property
+    def n_components(self) -> int:
+        return self.components.shape[1]
+
+    def transform(self, matrix: np.ndarray) -> np.ndarray:
+        """Project (raw) rows into component scores."""
+        return self.normalizer.transform(matrix) @ self.components
+
+    def retained(self, min_std: float) -> "PCAModel":
+        """Return a model keeping only components with std > ``min_std``.
+
+        At least one component is always kept (the most significant),
+        so downstream distance computations never collapse to zero
+        dimensions.
+        """
+        keep = self.stds > min_std
+        if not keep.any():
+            keep = np.zeros_like(keep)
+            keep[0] = True
+        return PCAModel(
+            normalizer=self.normalizer,
+            components=self.components[:, keep],
+            stds=self.stds[keep],
+            explained_ratio=self.explained_ratio[keep],
+        )
+
+
+def fit_pca(matrix: np.ndarray) -> PCAModel:
+    """Fit PCA to ``matrix`` (rows = observations, columns = features).
+
+    The input is z-scored first (correlation-matrix PCA), matching the
+    paper's "it is appropriate to normalize the data set prior to PCA".
+    """
+    if matrix.ndim != 2:
+        raise ValueError("expected a 2-D matrix")
+    n, p = matrix.shape
+    if n < 2:
+        raise ValueError("PCA requires at least two observations")
+    normalizer = Normalizer.fit(matrix)
+    z = normalizer.transform(matrix)
+    # Economy SVD: z = U S Vt; scores = U S; loadings = V.
+    _, s, vt = np.linalg.svd(z, full_matrices=False)
+    stds = s / np.sqrt(n - 1)
+    var = stds**2
+    total = var.sum()
+    explained = var / total if total > 0 else np.zeros_like(var)
+    return PCAModel(
+        normalizer=normalizer,
+        components=vt.T,
+        stds=stds,
+        explained_ratio=explained,
+    )
+
+
+def rescaled_pca_space(matrix: np.ndarray, *, min_std: float = 1.0) -> np.ndarray:
+    """The paper's full transform: normalize -> PCA -> retain -> rescale.
+
+    Returns the rescaled scores of ``matrix``'s own rows: every retained
+    component is z-scored so all underlying program characteristics get
+    equal weight in subsequent distance computations.
+    """
+    model = fit_pca(matrix).retained(min_std)
+    scores = model.transform(matrix)
+    std = scores.std(axis=0)
+    scale = np.where(std > 0, std, 1.0)
+    return (scores - scores.mean(axis=0)) / scale

@@ -1,0 +1,39 @@
+"""The five benchmark suites of the study (77 benchmarks)."""
+
+from .registry import (
+    DOMAIN_SPECIFIC_SUITES,
+    GENERAL_PURPOSE_SUITES,
+    SUITE_BIOPERF,
+    SUITE_BMW,
+    SUITE_FP2000,
+    SUITE_FP2006,
+    SUITE_INT2000,
+    SUITE_INT2006,
+    SUITE_MEDIABENCH,
+    SUITE_ORDER,
+    Benchmark,
+    Suite,
+    all_benchmarks,
+    all_suites,
+    get_benchmark,
+    get_suite,
+)
+
+__all__ = [
+    "Benchmark",
+    "DOMAIN_SPECIFIC_SUITES",
+    "GENERAL_PURPOSE_SUITES",
+    "SUITE_BIOPERF",
+    "SUITE_BMW",
+    "SUITE_FP2000",
+    "SUITE_FP2006",
+    "SUITE_INT2000",
+    "SUITE_INT2006",
+    "SUITE_MEDIABENCH",
+    "SUITE_ORDER",
+    "Suite",
+    "all_benchmarks",
+    "all_suites",
+    "get_benchmark",
+    "get_suite",
+]

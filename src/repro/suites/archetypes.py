@@ -1,0 +1,384 @@
+"""Shared behaviour archetypes.
+
+An archetype is a kernel configuration representing a computational
+behaviour that several real benchmarks share — the reason the paper
+observes *mixed* clusters.  When two benchmarks (possibly in different
+suites) build a phase from the same archetype, their intervals land
+in the same region of the workload space: h264ref (SPECint2006) and
+h264 (MediaBench II) share the video-codec archetypes, facerec
+(SPECfp2000) and face (BMW) share the eigen-image archetype, sphinx3
+(SPECfp2006) and speak (BMW) share the speech front-end, and the two
+hmmer versions share the profile-HMM archetype.
+
+Archetypes are deliberately **seed-fixed**: they model the same library
+code (the same codec, the same aligner) linked into different
+applications, so every user gets a structurally identical kernel.
+What still differs between two users are their phase schedules, phase
+weights, the surrounding non-archetype phases, and the per-interval
+randomness of the dynamic streams.  Parameterized archetypes
+(:func:`grid_stencil`, :func:`pointer_graph`, ...) derive their seed
+from the parameters, so differently-parameterized uses remain distinct
+behaviours.
+"""
+
+from __future__ import annotations
+
+from ..synth import (
+    BlendKernel,
+    branchy_kernel,
+    compress_kernel,
+    dsp_kernel,
+    dynprog_kernel,
+    fsm_kernel,
+    hashing_kernel,
+    matrix_kernel,
+    pointer_chase_kernel,
+    sorting_kernel,
+    sparse_kernel,
+    stencil_kernel,
+    streaming_kernel,
+    string_match_kernel,
+)
+from ..synth.rng import derive_seed
+
+
+def _seed(name: str, *params) -> int:
+    """Deterministic archetype seed from its name and parameters."""
+    return derive_seed("archetype", name, *params)
+
+
+def video_motion_estimation():
+    """Block-matching SAD loops: byte streams, integer adds, high ILP."""
+    return streaming_kernel(
+        seed=_seed("video_me"),
+        name="video_me",
+        n_arrays=2,
+        stride=1,
+        region_kb=512,
+        fp=False,
+        ops_per_element=7,
+        unroll=8,
+        trip=64,
+        chain_frac=0.2,
+    )
+
+
+def video_entropy_decode():
+    """CABAC/VLC-style bitstream decoding: table-driven FSM."""
+    return fsm_kernel(
+        seed=_seed("video_entropy"),
+        name="video_entropy",
+        table_kb=48,
+        input_mb=8,
+        logic_per_symbol=6,
+        syntax_period=5,
+        noise=0.18,
+        n_variants=6,
+        trip=80,
+    )
+
+
+def video_deblock_filter():
+    """In-loop deblocking: short integer DSP with clamping."""
+    return dsp_kernel(
+        seed=_seed("video_deblock"),
+        name="video_deblock",
+        taps=6,
+        fp=False,
+        sample_stride=1,
+        buffer_kb=96,
+        accumulators=3,
+        saturate=True,
+        trip=48,
+    )
+
+
+def image_dct():
+    """8x8 DCT/IDCT butterflies: fixed-point multiply-accumulate."""
+    return dsp_kernel(
+        seed=_seed("image_dct"),
+        name="image_dct",
+        taps=8,
+        fp=False,
+        sample_stride=2,
+        buffer_kb=64,
+        accumulators=4,
+        saturate=True,
+        trip=64,
+    )
+
+
+def image_filter():
+    """2-D pixel convolution: byte streams with integer work."""
+    return streaming_kernel(
+        seed=_seed("image_filter"),
+        name="image_filter",
+        n_arrays=3,
+        stride=1,
+        region_kb=768,
+        fp=False,
+        ops_per_element=5,
+        unroll=4,
+        trip=320,
+        chain_frac=0.3,
+    )
+
+
+def wavelet_lifting():
+    """Integer wavelet lifting (JPEG2000 DWT, WSQ fingerprint coding)."""
+    return streaming_kernel(
+        seed=_seed("wavelet_lifting"),
+        name="wavelet_lifting",
+        n_arrays=2,
+        stride=2,
+        region_kb=1024,
+        fp=False,
+        ops_per_element=6,
+        unroll=4,
+        trip=384,
+        chain_frac=0.35,
+    )
+
+
+def eigen_image():
+    """Eigenface-style recognition: image projection onto a basis."""
+    return BlendKernel(
+        "eigen_image",
+        [
+            (
+                matrix_kernel(
+                    seed=_seed("eigen_image", 0),
+                    name="eigen_project",
+                    matrix_kb=768,
+                    row_bytes=1024,
+                    accumulators=4,
+                    macs_per_iter=6,
+                    trip=128,
+                ),
+                0.6,
+            ),
+            (
+                streaming_kernel(
+                    seed=_seed("eigen_image", 1),
+                    name="eigen_normalize",
+                    n_arrays=1,
+                    stride=8,
+                    region_kb=512,
+                    fp=True,
+                    ops_per_element=4,
+                    unroll=4,
+                    trip=256,
+                ),
+                0.4,
+            ),
+        ],
+        chunk=768,
+    )
+
+
+def speech_frontend():
+    """MFCC/filterbank front-end: floating-point DSP pipelines."""
+    return dsp_kernel(
+        seed=_seed("speech_frontend"),
+        name="speech_frontend",
+        taps=10,
+        fp=True,
+        sample_stride=2,
+        buffer_kb=128,
+        accumulators=4,
+        saturate=False,
+        trip=160,
+    )
+
+
+def gaussian_scoring():
+    """Acoustic-model Gaussian evaluation: dense FP with exp-like chains."""
+    return matrix_kernel(
+        seed=_seed("gaussian_scoring"),
+        name="gaussian_scoring",
+        matrix_kb=2048,
+        row_bytes=512,
+        accumulators=3,
+        macs_per_iter=7,
+        divides=2,
+        trip=96,
+    )
+
+
+def profile_hmm():
+    """Profile-HMM Viterbi: 3-state dynamic programming.
+
+    Shared by BioPerf's hmmer and SPEC CPU2006's hmmer — the paper's
+    flagship cross-suite cluster.
+    """
+    return dynprog_kernel(
+        seed=_seed("profile_hmm"),
+        name="profile_hmm",
+        row_bytes=3072,
+        table_mb=4,
+        states=3,
+        cmov_per_cell=4,
+        adds_per_cell=5,
+        trip=384,
+    )
+
+
+def seq_scan():
+    """Database sequence scanning (BLAST/FASTA word matching)."""
+    return string_match_kernel(
+        seed=_seed("seq_scan"),
+        name="seq_scan",
+        database_mb=64,
+        query_kb=8,
+        match_prob=0.22,
+        sticky_matches=True,
+        adds_per_byte=6,
+        byte_stride=1,
+        trip=256,
+    )
+
+
+def seq_align():
+    """Pairwise sequence alignment (Smith-Waterman style DP)."""
+    return dynprog_kernel(
+        seed=_seed("seq_align"),
+        name="seq_align",
+        row_bytes=2048,
+        table_mb=16,
+        states=1,
+        cmov_per_cell=3,
+        adds_per_cell=4,
+        trip=512,
+    )
+
+
+def compress_block():
+    """bzip2/gzip-style block compression."""
+    return compress_kernel(
+        seed=_seed("compress_block"),
+        name="compress_block",
+        input_mb=16,
+        table_kb=320,
+        shifts_per_symbol=4,
+        symbol_skew=0.7,
+        trip=192,
+    )
+
+
+def script_engine():
+    """Interpreter/symbol-table engine (perl, xalan, gap)."""
+    return BlendKernel(
+        "script_engine",
+        [
+            (
+                hashing_kernel(
+                    seed=_seed("script_engine", 0),
+                    name="script_hash",
+                    table_mb=24,
+                    hash_ops=6,
+                    probes=2,
+                    miss_stickiness=0.3,
+                    n_variants=12,
+                    trip=48,
+                ),
+                0.55,
+            ),
+            (
+                branchy_kernel(
+                    seed=_seed("script_engine", 1),
+                    name="script_dispatch",
+                    branch_every=4,
+                    n_branches=7,
+                    branch_entropy=0.4,
+                    patterned_frac=0.35,
+                    heap_kb=1024,
+                    n_variants=32,
+                    trip=20,
+                ),
+                0.45,
+            ),
+        ],
+        chunk=512,
+    )
+
+
+def pointer_graph(*, nodes_k: int = 128, entropy: float = 0.45):
+    """Graph/network traversal over linked nodes (mcf, omnetpp)."""
+    return pointer_chase_kernel(
+        seed=_seed("pointer_graph", nodes_k, entropy),
+        name="pointer_graph",
+        n_nodes=nodes_k * 1024,
+        node_bytes=64,
+        fields_per_node=3,
+        work_per_node=5,
+        branch_entropy=entropy,
+        trip=72,
+    )
+
+
+def game_tree(*, entropy: float = 0.42):
+    """Game-tree search (crafty, sjeng, gobmk): hard branches, logic."""
+    return branchy_kernel(
+        seed=_seed("game_tree", entropy),
+        name="game_tree",
+        branch_every=5,
+        n_branches=8,
+        branch_entropy=entropy,
+        patterned_frac=0.25,
+        heap_kb=256,
+        n_variants=20,
+        trip=28,
+    )
+
+
+def sparse_solver(*, data_mb: int = 48):
+    """Sparse linear-system iterations (soplex, milc, equake)."""
+    return sparse_kernel(
+        seed=_seed("sparse_solver", data_mb),
+        name="sparse_solver",
+        data_mb=data_mb,
+        cluster_len=10,
+        fp_per_element=6,
+        fp=True,
+        guard_entropy=0.1,
+        trip=320,
+    )
+
+
+def grid_stencil(*, grid_mb: int = 32, points: int = 5, trip: int = 512):
+    """Structured-grid PDE sweep (swim, mgrid, lbm, zeusmp, leslie3d)."""
+    return stencil_kernel(
+        seed=_seed("grid_stencil", grid_mb, points, trip),
+        name="grid_stencil",
+        row_bytes=8192,
+        grid_mb=grid_mb,
+        points=points,
+        fp_ops_per_point=8,
+        unroll=2,
+        trip=trip,
+    )
+
+
+def dense_solver(*, macs: int = 8, divides: int = 0, trip: int = 256):
+    """Dense linear algebra (sixtrack, calculix, gamess inner loops)."""
+    return matrix_kernel(
+        seed=_seed("dense_solver", macs, divides, trip),
+        name="dense_solver",
+        matrix_kb=1024,
+        row_bytes=2048,
+        accumulators=5,
+        macs_per_iter=macs,
+        divides=divides,
+        trip=trip,
+    )
+
+
+def quicksortish(*, working_set_kb: int = 2048):
+    """Partition/merge sorting passes (library sorts inside int codes)."""
+    return sorting_kernel(
+        seed=_seed("quicksortish", working_set_kb),
+        name="quicksortish",
+        working_set_kb=working_set_kb,
+        compare_entropy=0.5,
+        trip=40,
+    )

@@ -1,0 +1,102 @@
+"""BioMetricsWorkload (BMW) benchmark models (5 biometric benchmarks).
+
+BMW is image/signal processing in disguise: its phases are built almost
+entirely from archetypes shared with SPEC's media-flavoured benchmarks
+(facerec, sphinx3) and with MediaBench II — which is why the paper finds
+it the *least* unique suite (and concludes it may not be worth
+simulating alongside CPU2006).
+"""
+
+from __future__ import annotations
+
+from ..synth import Phase, PhaseSchedule, dsp_kernel, matrix_kernel
+from . import archetypes as arch
+from .registry import SUITE_BMW, Benchmark, register_suite
+
+
+def _face(seed):
+    # Eigenface recognition — the same archetype as SPECfp2000 facerec.
+    return PhaseSchedule(
+        [
+            Phase(arch.eigen_image(), 0.7),
+            Phase(arch.image_filter(), 0.3),
+        ]
+    )
+
+
+def _finger(seed):
+    # Minutiae extraction: image filtering plus ridge-following.
+    return PhaseSchedule(
+        [
+            Phase(arch.image_filter(), 0.55),
+            Phase(arch.image_dct(), 0.25),
+            # WSQ-style wavelet coding of the captured image — the same
+            # lifting transform as MediaBench II's jpeg2000.
+            Phase(arch.wavelet_lifting(), 0.2),
+        ]
+    )
+
+
+def _gait(seed):
+    # Gait recognition from video: motion analysis plus projection.
+    return PhaseSchedule(
+        [
+            Phase(arch.video_motion_estimation(), 0.6),
+            Phase(
+                matrix_kernel(
+                    seed=seed + 2,
+                    name="gait_projection",
+                    matrix_kb=384,
+                    row_bytes=768,
+                    accumulators=3,
+                    macs_per_iter=6,
+                    trip=112,
+                ),
+                0.4,
+            ),
+        ]
+    )
+
+
+def _hand(seed):
+    # Hand-geometry matching: contour filtering and feature distances.
+    return PhaseSchedule(
+        [
+            Phase(arch.image_filter(), 0.6),
+            Phase(
+                dsp_kernel(
+                    seed=seed + 2,
+                    name="hand_contours",
+                    taps=6,
+                    fp=True,
+                    sample_stride=4,
+                    buffer_kb=96,
+                    accumulators=3,
+                    saturate=False,
+                    trip=96,
+                ),
+                0.4,
+            ),
+        ]
+    )
+
+
+def _speak(seed):
+    # Speaker verification — the same speech archetypes as sphinx3.
+    return PhaseSchedule(
+        [
+            Phase(arch.speech_frontend(), 0.45),
+            Phase(arch.gaussian_scoring(), 0.55),
+        ]
+    )
+
+
+@register_suite(SUITE_BMW)
+def _bmw():
+    return [
+        Benchmark(SUITE_BMW, "face", 1254, _face),
+        Benchmark(SUITE_BMW, "finger", 7196, _finger),
+        Benchmark(SUITE_BMW, "gait", 1278, _gait),
+        Benchmark(SUITE_BMW, "hand", 10789, _hand),
+        Benchmark(SUITE_BMW, "speak", 1847, _speak),
+    ]

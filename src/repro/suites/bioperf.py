@@ -1,0 +1,352 @@
+"""BioPerf benchmark models (10 bio-informatics benchmarks).
+
+BioPerf is the paper's uniqueness champion: 65% of its execution sits in
+clusters no other suite touches.  We model that by building most of its
+phases from parameter corners no general-purpose benchmark uses —
+byte-granularity scanning with extreme integer-add density, cmov-heavy
+multi-state dynamic programming, FDIV-rich likelihood evaluation — while
+hmmer deliberately shares the profile-HMM archetype with SPEC CPU2006's
+hmmer (the paper's flagship cross-suite cluster, which still leaves the
+BioPerf version with a large dissimilar phase of its own).
+"""
+
+from __future__ import annotations
+
+from ..synth import (
+    BlendKernel,
+    Phase,
+    PhaseSchedule,
+    dynprog_kernel,
+    fsm_kernel,
+    hashing_kernel,
+    matrix_kernel,
+    pointer_chase_kernel,
+    sorting_kernel,
+    streaming_kernel,
+    string_match_kernel,
+)
+from . import archetypes as arch
+from .registry import SUITE_BIOPERF, Benchmark, register_suite
+
+
+def _blast(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.seq_scan(), 0.65),
+            Phase(
+                # Hit extension: gapped alignment around seed hits.
+                dynprog_kernel(
+                    seed=seed + 2,
+                    name="blast_extend",
+                    row_bytes=1024,
+                    table_mb=2,
+                    states=1,
+                    cmov_per_cell=4,
+                    adds_per_cell=6,
+                    trip=96,
+                ),
+                0.35,
+            ),
+        ]
+    )
+
+
+def _ce(seed):
+    # Combinatorial-extension structure alignment: FP geometry plus DP.
+    return PhaseSchedule(
+        [
+            Phase(
+                matrix_kernel(
+                    seed=seed + 1,
+                    name="ce_superpose",
+                    matrix_kb=96,
+                    row_bytes=512,
+                    accumulators=3,
+                    macs_per_iter=6,
+                    divides=3,
+                    trip=80,
+                ),
+                0.5,
+            ),
+            Phase(
+                dynprog_kernel(
+                    seed=seed + 2,
+                    name="ce_path",
+                    row_bytes=1536,
+                    table_mb=3,
+                    states=2,
+                    cmov_per_cell=5,
+                    adds_per_cell=3,
+                    trip=160,
+                ),
+                0.5,
+            ),
+        ]
+    )
+
+
+def _clustalw(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.seq_align(), 0.8),
+            Phase(
+                # Guide-tree construction over pairwise distances.
+                sorting_kernel(
+                    seed=seed + 2,
+                    name="clustalw_tree",
+                    working_set_kb=192,
+                    compare_entropy=0.42,
+                    trip=32,
+                ),
+                0.2,
+            ),
+        ]
+    )
+
+
+def _fasta(seed):
+    # The study's longest benchmark; two big scanning flavours.
+    return PhaseSchedule(
+        [
+            Phase(
+                string_match_kernel(
+                    seed=seed + 1,
+                    name="fasta_wordscan",
+                    database_mb=128,
+                    query_kb=4,
+                    match_prob=0.18,
+                    sticky_matches=True,
+                    adds_per_byte=8,
+                    byte_stride=1,
+                    trip=320,
+                    chain_frac=0.6,
+                ),
+                0.6,
+            ),
+            Phase(arch.seq_align(), 0.4),
+        ]
+    )
+
+
+def _glimmer(seed):
+    # Interpolated Markov gene models: FSM evaluation with unusual
+    # (codon-periodic) branch structure.
+    return PhaseSchedule(
+        [
+            Phase(
+                fsm_kernel(
+                    seed=seed + 1,
+                    name="glimmer_imm",
+                    table_kb=768,
+                    input_mb=2,
+                    logic_per_symbol=7,
+                    syntax_period=3,
+                    noise=0.22,
+                    n_variants=6,
+                    trip=60,
+                ),
+                1.0,
+            )
+        ]
+    )
+
+
+def _grappa(seed):
+    # Breakpoint-graph genome rearrangement: the paper notes "a large
+    # number of operations along with a large number of global
+    # small-distance strides" and gives grappa five benchmark-specific
+    # clusters.  Three distinct bit-twiddling phases, all built from
+    # parameter corners nothing else uses.
+    return PhaseSchedule(
+        [
+            Phase(
+                streaming_kernel(
+                    seed=seed + 1,
+                    name="grappa_permutations",
+                    n_arrays=1,
+                    stride=4,
+                    region_kb=256,
+                    fp=False,
+                    ops_per_element=12,
+                    unroll=8,
+                    trip=512,
+                    chain_frac=0.55,
+                ),
+                0.4,
+            ),
+            Phase(
+                string_match_kernel(
+                    seed=seed + 2,
+                    name="grappa_breakpoints",
+                    database_mb=4,
+                    query_kb=64,
+                    match_prob=0.35,
+                    sticky_matches=False,
+                    adds_per_byte=9,
+                    byte_stride=4,
+                    trip=224,
+                    chain_frac=0.7,
+                ),
+                0.35,
+            ),
+            Phase(
+                pointer_chase_kernel(
+                    seed=seed + 3,
+                    name="grappa_tsp_bound",
+                    n_nodes=1 << 12,
+                    fields_per_node=1,
+                    work_per_node=9,
+                    branch_entropy=0.48,
+                    trip=32,
+                    chain_frac=0.8,
+                ),
+                0.25,
+            ),
+        ]
+    )
+
+
+def _hmmer_bio(seed):
+    # 40% shares the profile-HMM archetype with SPEC's hmmer; the other
+    # 60% is a dissimilar Viterbi flavour (different branch behaviour
+    # and operand counts, as the paper describes in section 4.2).
+    return PhaseSchedule(
+        [
+            Phase(arch.profile_hmm(), 0.4),
+            Phase(
+                dynprog_kernel(
+                    seed=seed + 2,
+                    name="hmmer_bio_full",
+                    row_bytes=6144,
+                    table_mb=12,
+                    states=5,
+                    cmov_per_cell=6,
+                    adds_per_cell=2,
+                    trip=224,
+                    chain_frac=0.75,
+                ),
+                0.6,
+            ),
+        ]
+    )
+
+
+def _phylip(seed):
+    # Maximum-likelihood phylogeny: FDIV/FSQRT-rich likelihood math on a
+    # tiny working set — unique in the study (FDIV is rare elsewhere).
+    return PhaseSchedule(
+        [
+            Phase(
+                matrix_kernel(
+                    seed=seed + 1,
+                    name="phylip_likelihood",
+                    matrix_kb=48,
+                    row_bytes=256,
+                    accumulators=2,
+                    macs_per_iter=4,
+                    divides=6,
+                    trip=112,
+                ),
+                0.8,
+            ),
+            Phase(
+                pointer_chase_kernel(
+                    seed=seed + 2,
+                    name="phylip_tree_walk",
+                    n_nodes=1 << 10,
+                    branch_entropy=0.3,
+                    trip=24,
+                ),
+                0.2,
+            ),
+        ]
+    )
+
+
+def _predator(seed):
+    # Protein-structure prediction: mixed scanning and table evaluation
+    # with bio-specific parameters.
+    return PhaseSchedule(
+        [
+            Phase(
+                BlendKernel(
+                    "predator_profile",
+                    [
+                        (
+                            string_match_kernel(
+                                seed=seed + 1,
+                                name="predator_scan",
+                                database_mb=24,
+                                match_prob=0.4,
+                                sticky_matches=True,
+                                adds_per_byte=7,
+                                byte_stride=2,
+                                trip=144,
+                            ),
+                            0.6,
+                        ),
+                        (
+                            hashing_kernel(
+                                seed=seed + 2,
+                                name="predator_motifs",
+                                table_mb=3,
+                                hash_ops=8,
+                                probes=1,
+                                trip=40,
+                            ),
+                            0.4,
+                        ),
+                    ],
+                    chunk=384,
+                ),
+                1.0,
+            )
+        ]
+    )
+
+
+def _tcoffee(seed):
+    return PhaseSchedule(
+        [
+            Phase(
+                dynprog_kernel(
+                    seed=seed + 1,
+                    name="tcoffee_progressive",
+                    row_bytes=2560,
+                    table_mb=20,
+                    states=2,
+                    cmov_per_cell=4,
+                    adds_per_cell=5,
+                    trip=448,
+                ),
+                0.7,
+            ),
+            Phase(
+                hashing_kernel(
+                    seed=seed + 2,
+                    name="tcoffee_library",
+                    table_mb=10,
+                    hash_ops=5,
+                    probes=2,
+                    trip=56,
+                ),
+                0.3,
+            ),
+        ]
+    )
+
+
+@register_suite(SUITE_BIOPERF)
+def _bioperf():
+    return [
+        Benchmark(SUITE_BIOPERF, "blast", 2390, _blast),
+        Benchmark(SUITE_BIOPERF, "ce", 4, _ce),
+        Benchmark(SUITE_BIOPERF, "clustalw", 1709, _clustalw),
+        Benchmark(SUITE_BIOPERF, "fasta", 69931, _fasta),
+        Benchmark(SUITE_BIOPERF, "glimmer", 8, _glimmer),
+        Benchmark(SUITE_BIOPERF, "grappa", 4210, _grappa),
+        Benchmark(SUITE_BIOPERF, "hmmer", 5120, _hmmer_bio),
+        Benchmark(SUITE_BIOPERF, "phylip", 1077, _phylip),
+        Benchmark(SUITE_BIOPERF, "predator", 747, _predator),
+        Benchmark(SUITE_BIOPERF, "tcoffee", 1274, _tcoffee),
+    ]

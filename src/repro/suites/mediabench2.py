@@ -1,0 +1,111 @@
+"""MediaBench II benchmark models (7 video/image codecs).
+
+MediaBench II shares its video archetypes with SPECint2006's h264ref
+and its image archetypes with BMW — the paper finds it covers a narrow
+slice of the workload space with little unique behaviour.
+"""
+
+from __future__ import annotations
+
+from ..synth import Phase, PhaseSchedule, dsp_kernel
+from . import archetypes as arch
+from .registry import SUITE_MEDIABENCH, Benchmark, register_suite
+
+
+def _h263(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.video_motion_estimation(), 0.45),
+            Phase(arch.image_dct(), 0.3),
+            Phase(arch.video_entropy_decode(), 0.25),
+        ]
+    )
+
+
+def _h264(seed):
+    # The same archetype line-up as SPECint2006's h264ref.
+    return PhaseSchedule(
+        [
+            Phase(arch.video_motion_estimation(), 0.45),
+            Phase(arch.video_entropy_decode(), 0.25),
+            Phase(arch.video_deblock_filter(), 0.3),
+        ]
+    )
+
+
+def _jpeg2000(seed):
+    return PhaseSchedule(
+        [
+            # Wavelet lifting: the same transform as WSQ fingerprint
+            # coding (shared with BMW's finger benchmark).
+            Phase(arch.wavelet_lifting(), 0.55),
+            Phase(arch.video_entropy_decode(), 0.45),
+        ]
+    )
+
+
+def _jpeg(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.image_dct(), 0.6),
+            Phase(arch.image_filter(), 0.4),
+        ]
+    )
+
+
+def _mpeg2(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.video_motion_estimation(), 0.4),
+            Phase(arch.image_dct(), 0.35),
+            Phase(arch.video_entropy_decode(), 0.25),
+        ]
+    )
+
+
+def _mpeg4(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.video_motion_estimation(), 0.45),
+            Phase(arch.video_entropy_decode(), 0.3),
+            Phase(arch.video_deblock_filter(), 0.25),
+        ]
+    )
+
+
+def _mpeg4_mmx(seed):
+    # SIMD-optimized variant: the DSP stages run with wider unrolling
+    # (more independent accumulators, higher ILP), the rest is shared.
+    return PhaseSchedule(
+        [
+            Phase(arch.video_motion_estimation(), 0.4),
+            Phase(
+                dsp_kernel(
+                    seed=seed + 2,
+                    name="mpeg4mmx_simd",
+                    taps=8,
+                    fp=False,
+                    sample_stride=1,
+                    buffer_kb=96,
+                    accumulators=8,
+                    saturate=True,
+                    trip=64,
+                ),
+                0.35,
+            ),
+            Phase(arch.video_entropy_decode(), 0.25),
+        ]
+    )
+
+
+@register_suite(SUITE_MEDIABENCH)
+def _mediabench2():
+    return [
+        Benchmark(SUITE_MEDIABENCH, "h263", 4, _h263),
+        Benchmark(SUITE_MEDIABENCH, "h264", 1505, _h264),
+        Benchmark(SUITE_MEDIABENCH, "jpeg2000", 4, _jpeg2000),
+        Benchmark(SUITE_MEDIABENCH, "jpeg", 2, _jpeg),
+        Benchmark(SUITE_MEDIABENCH, "mpeg2", 77, _mpeg2),
+        Benchmark(SUITE_MEDIABENCH, "mpeg4", 12, _mpeg4),
+        Benchmark(SUITE_MEDIABENCH, "mpeg4-mmx", 8, _mpeg4_mmx),
+    ]

@@ -1,0 +1,527 @@
+"""SPEC CPU2000 benchmark models (12 integer + 14 floating point).
+
+CPU2000 covers a broad but somewhat narrower region than CPU2006: its
+benchmarks carry fewer phases and a tighter parameter spread, and
+several share archetypes with their CPU2006 successors (bzip2, gcc,
+mcf, perlbmk/perlbench) — producing the cross-generation mixed clusters
+the paper observes.
+"""
+
+from __future__ import annotations
+
+from ..synth import (
+    BlendKernel,
+    Phase,
+    PhaseSchedule,
+    branchy_kernel,
+    compress_kernel,
+    dsp_kernel,
+    hashing_kernel,
+    matrix_kernel,
+    pointer_chase_kernel,
+    sorting_kernel,
+    sparse_kernel,
+    stencil_kernel,
+    streaming_kernel,
+)
+from . import archetypes as arch
+from .registry import SUITE_FP2000, SUITE_INT2000, Benchmark, register_suite
+
+
+# --------------------------------------------------------------------------
+# SPECint2000
+# --------------------------------------------------------------------------
+
+def _bzip2_00(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.compress_block(), 0.75),
+            Phase(arch.quicksortish(working_set_kb=2048), 0.25),
+        ]
+    )
+
+
+def _crafty(seed):
+    return PhaseSchedule([Phase(arch.game_tree(entropy=0.4), 1.0)])
+
+
+def _eon(seed):
+    # C++ ray tracer: FP math under moderate control flow.
+    return PhaseSchedule(
+        [
+            Phase(
+                BlendKernel(
+                    "eon_trace",
+                    [
+                        (
+                            matrix_kernel(
+                                seed=seed + 1,
+                                name="eon_shading",
+                                matrix_kb=64,
+                                row_bytes=256,
+                                accumulators=2,
+                                macs_per_iter=5,
+                                divides=1,
+                                trip=40,
+                            ),
+                            0.55,
+                        ),
+                        (
+                            branchy_kernel(
+                                seed=seed + 2,
+                                name="eon_traverse",
+                                branch_every=5,
+                                n_branches=5,
+                                branch_entropy=0.3,
+                                patterned_frac=0.3,
+                                heap_kb=512,
+                                n_variants=10,
+                                trip=20,
+                            ),
+                            0.45,
+                        ),
+                    ],
+                    chunk=256,
+                ),
+                1.0,
+            )
+        ]
+    )
+
+
+def _gap(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.script_engine(), 0.6),
+            Phase(
+                streaming_kernel(
+                    seed=seed + 2,
+                    name="gap_bignum",
+                    n_arrays=2,
+                    stride=8,
+                    region_kb=2048,
+                    fp=False,
+                    ops_per_element=8,
+                    unroll=4,
+                    trip=96,
+                    chain_frac=0.55,
+                ),
+                0.4,
+            ),
+        ]
+    )
+
+
+def _gcc_00(seed):
+    return PhaseSchedule(
+        [
+            Phase(
+                branchy_kernel(
+                    seed=seed + 1,
+                    name="gcc00_analysis",
+                    branch_every=4,
+                    n_branches=8,
+                    branch_entropy=0.38,
+                    patterned_frac=0.35,
+                    heap_kb=2048,
+                    n_variants=40,
+                    trip=16,
+                ),
+                0.65,
+            ),
+            Phase(
+                hashing_kernel(
+                    seed=seed + 2, name="gcc00_symbols", table_mb=16, trip=40
+                ),
+                0.35,
+            ),
+        ]
+    )
+
+
+def _gzip(seed):
+    # Deflate is a single tight loop over the input stream: gzip is one
+    # of the most homogeneous codes in CPU2000.
+    return PhaseSchedule(
+        [
+            Phase(
+                compress_kernel(
+                    seed=seed + 1,
+                    name="gzip_deflate",
+                    input_mb=8,
+                    table_kb=128,
+                    shifts_per_symbol=3,
+                    symbol_skew=0.68,
+                    trip=128,
+                ),
+                1.0,
+            ),
+        ]
+    )
+
+
+def _mcf_00(seed):
+    return PhaseSchedule(
+        [Phase(arch.pointer_graph(nodes_k=128, entropy=0.38), 1.0)]
+    )
+
+
+def _parser(seed):
+    # Link-grammar parsing interleaves rule evaluation and dictionary
+    # lookups at a fine grain: one blended behaviour, not two phases.
+    return PhaseSchedule(
+        [
+            Phase(
+                BlendKernel(
+                    "parser_core",
+                    [
+                        (
+                            branchy_kernel(
+                                seed=seed + 1,
+                                name="parser_grammar",
+                                branch_every=4,
+                                n_branches=7,
+                                branch_entropy=0.42,
+                                patterned_frac=0.25,
+                                heap_kb=1024,
+                                n_variants=18,
+                                trip=20,
+                            ),
+                            0.6,
+                        ),
+                        (
+                            hashing_kernel(
+                                seed=seed + 2,
+                                name="parser_dictionary",
+                                table_mb=8,
+                                trip=48,
+                            ),
+                            0.4,
+                        ),
+                    ],
+                    chunk=384,
+                ),
+                1.0,
+            ),
+        ]
+    )
+
+
+def _perlbmk(seed):
+    return PhaseSchedule([Phase(arch.script_engine(), 1.0)])
+
+
+def _twolf(seed):
+    # Placement/routing annealer: a distinctive tight-loop behaviour
+    # (the paper shows 99.7% of twolf in one cluster).
+    return PhaseSchedule(
+        [
+            Phase(
+                sorting_kernel(
+                    seed=seed + 1,
+                    name="twolf_anneal",
+                    working_set_kb=384,
+                    compare_entropy=0.44,
+                    swap_frac_ops=5,
+                    trip=28,
+                    chain_frac=0.6,
+                ),
+                1.0,
+            )
+        ]
+    )
+
+
+def _vortex(seed):
+    return PhaseSchedule(
+        [
+            Phase(
+                hashing_kernel(
+                    seed=seed + 1,
+                    name="vortex_objects",
+                    table_mb=20,
+                    probes=3,
+                    miss_stickiness=0.2,
+                    n_variants=16,
+                    trip=56,
+                ),
+                0.7,
+            ),
+            Phase(
+                pointer_chase_kernel(
+                    seed=seed + 2,
+                    name="vortex_links",
+                    n_nodes=1 << 14,
+                    branch_entropy=0.28,
+                    trip=48,
+                ),
+                0.3,
+            ),
+        ]
+    )
+
+
+def _vpr(seed):
+    return PhaseSchedule(
+        [
+            Phase(
+                pointer_chase_kernel(
+                    seed=seed + 1,
+                    name="vpr_route",
+                    n_nodes=1 << 15,
+                    fields_per_node=2,
+                    work_per_node=5,
+                    branch_entropy=0.4,
+                    trip=56,
+                ),
+                0.55,
+            ),
+            Phase(
+                sorting_kernel(
+                    seed=seed + 2,
+                    name="vpr_place",
+                    working_set_kb=768,
+                    compare_entropy=0.46,
+                    trip=36,
+                ),
+                0.45,
+            ),
+        ]
+    )
+
+
+# --------------------------------------------------------------------------
+# SPECfp2000
+# --------------------------------------------------------------------------
+
+def _ammp(seed):
+    return PhaseSchedule(
+        [
+            Phase(
+                sparse_kernel(
+                    seed=seed + 1,
+                    name="ammp_neighbors",
+                    data_mb=20,
+                    cluster_len=8,
+                    fp_per_element=7,
+                    guard_entropy=0.18,
+                    trip=224,
+                ),
+                0.8,
+            ),
+            Phase(arch.dense_solver(macs=5, trip=96), 0.2),
+        ]
+    )
+
+
+def _applu(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.grid_stencil(grid_mb=40, points=5, trip=448), 0.7),
+            Phase(arch.dense_solver(macs=6, divides=1, trip=128), 0.3),
+        ]
+    )
+
+
+def _apsi(seed):
+    # Shares stencil flavours with wrf (its CPU2006-era successor
+    # domain); the paper shows apsi/wrf mixed clusters.
+    return PhaseSchedule(
+        [
+            Phase(arch.grid_stencil(grid_mb=48, points=5, trip=512), 0.55),
+            Phase(arch.grid_stencil(grid_mb=16, points=9, trip=256), 0.45),
+        ]
+    )
+
+
+def _art(seed):
+    # Adaptive-resonance neural net: tiny-footprint FP streaming.
+    return PhaseSchedule(
+        [
+            Phase(
+                streaming_kernel(
+                    seed=seed + 1,
+                    name="art_f1_layer",
+                    n_arrays=2,
+                    stride=8,
+                    region_kb=96,
+                    fp=True,
+                    ops_per_element=9,
+                    unroll=2,
+                    trip=640,
+                    chain_frac=0.5,
+                ),
+                1.0,
+            )
+        ]
+    )
+
+
+def _equake(seed):
+    return PhaseSchedule(
+        [Phase(arch.sparse_solver(data_mb=56), 1.0)]
+    )
+
+
+def _facerec(seed):
+    # Shares the eigen-image archetype with BMW's face benchmark.
+    return PhaseSchedule(
+        [
+            Phase(arch.eigen_image(), 0.75),
+            Phase(arch.image_filter(), 0.25),
+        ]
+    )
+
+
+def _fma3d(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.dense_solver(macs=7, trip=192), 0.5),
+            Phase(arch.grid_stencil(grid_mb=24, points=7, trip=384), 0.5),
+        ]
+    )
+
+
+def _galgel(seed):
+    return PhaseSchedule(
+        [Phase(arch.dense_solver(macs=9, trip=288), 1.0)]
+    )
+
+
+def _lucas(seed):
+    # Lucas-Lehmer FFT squaring: strided FP butterflies, unique in 2000.
+    return PhaseSchedule(
+        [
+            Phase(
+                dsp_kernel(
+                    seed=seed + 1,
+                    name="lucas_fft",
+                    taps=12,
+                    fp=True,
+                    sample_stride=8,
+                    buffer_kb=8192,
+                    accumulators=6,
+                    saturate=False,
+                    trip=512,
+                ),
+                1.0,
+            )
+        ]
+    )
+
+
+def _mesa(seed):
+    return PhaseSchedule(
+        [
+            Phase(
+                streaming_kernel(
+                    seed=seed + 1,
+                    name="mesa_rasterize",
+                    n_arrays=2,
+                    stride=4,
+                    region_kb=4096,
+                    fp=True,
+                    ops_per_element=6,
+                    unroll=4,
+                    trip=256,
+                ),
+                0.7,
+            ),
+            Phase(
+                branchy_kernel(
+                    seed=seed + 2,
+                    name="mesa_clipping",
+                    branch_every=5,
+                    n_branches=6,
+                    branch_entropy=0.33,
+                    patterned_frac=0.4,
+                    heap_kb=256,
+                    n_variants=12,
+                    trip=24,
+                ),
+                0.3,
+            ),
+        ]
+    )
+
+
+def _mgrid(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.grid_stencil(grid_mb=56, points=7, trip=640), 0.75),
+            Phase(
+                stencil_kernel(
+                    seed=seed + 2,
+                    name="mgrid_restrict",
+                    row_bytes=4096,
+                    grid_mb=14,
+                    points=5,
+                    fp_ops_per_point=6,
+                    unroll=2,
+                    trip=320,
+                ),
+                0.25,
+            ),
+        ]
+    )
+
+
+def _sixtrack(seed):
+    # 98.7% of sixtrack sits in one benchmark-specific cluster: a single
+    # dense tracking loop with square roots.
+    return PhaseSchedule(
+        [Phase(arch.dense_solver(macs=11, divides=2, trip=384), 1.0)]
+    )
+
+
+def _swim(seed):
+    return PhaseSchedule(
+        [Phase(arch.grid_stencil(grid_mb=112, points=5, trip=896), 1.0)]
+    )
+
+
+def _wupwise(seed):
+    return PhaseSchedule(
+        [
+            Phase(arch.dense_solver(macs=8, trip=224), 0.7),
+            Phase(arch.sparse_solver(data_mb=32), 0.3),
+        ]
+    )
+
+
+@register_suite(SUITE_INT2000)
+def _int2000():
+    return [
+        Benchmark(SUITE_INT2000, "bzip2", 1872, _bzip2_00),
+        Benchmark(SUITE_INT2000, "crafty", 1852, _crafty),
+        Benchmark(SUITE_INT2000, "eon", 1047, _eon),
+        Benchmark(SUITE_INT2000, "gap", 1012, _gap),
+        Benchmark(SUITE_INT2000, "gcc", 1982, _gcc_00),
+        Benchmark(SUITE_INT2000, "gzip", 1512, _gzip),
+        Benchmark(SUITE_INT2000, "mcf", 59, _mcf_00),
+        Benchmark(SUITE_INT2000, "parser", 1512, _parser),
+        Benchmark(SUITE_INT2000, "perlbmk", 1281, _perlbmk),
+        Benchmark(SUITE_INT2000, "twolf", 1842, _twolf),
+        Benchmark(SUITE_INT2000, "vortex", 1962, _vortex),
+        Benchmark(SUITE_INT2000, "vpr", 1076, _vpr),
+    ]
+
+
+@register_suite(SUITE_FP2000)
+def _fp2000():
+    return [
+        Benchmark(SUITE_FP2000, "ammp", 1578, _ammp),
+        Benchmark(SUITE_FP2000, "applu", 1495, _applu),
+        Benchmark(SUITE_FP2000, "apsi", 4548, _apsi),
+        Benchmark(SUITE_FP2000, "art", 1562, _art),
+        Benchmark(SUITE_FP2000, "equake", 1551, _equake),
+        Benchmark(SUITE_FP2000, "facerec", 1662, _facerec),
+        Benchmark(SUITE_FP2000, "fma3d", 2113, _fma3d),
+        Benchmark(SUITE_FP2000, "galgel", 1689, _galgel),
+        Benchmark(SUITE_FP2000, "lucas", 1458, _lucas),
+        Benchmark(SUITE_FP2000, "mesa", 1882, _mesa),
+        Benchmark(SUITE_FP2000, "mgrid", 4182, _mgrid),
+        Benchmark(SUITE_FP2000, "sixtrack", 7041, _sixtrack),
+        Benchmark(SUITE_FP2000, "swim", 1852, _swim),
+        Benchmark(SUITE_FP2000, "wupwise", 4862, _wupwise),
+    ]

@@ -1,0 +1,83 @@
+"""Synthetic workload substrate: kernels, phases, and programs.
+
+This package replaces the paper's Pin-instrumented SPEC/BioPerf/BMW/
+MediaBench binaries (see DESIGN.md section 2): it generates dynamic
+instruction traces with controllable, phase-varying, domain-typical
+behaviour that the MICA meters consume unchanged.
+"""
+
+from .branches import (
+    BiasedRandomBranch,
+    BranchModel,
+    LoopBranch,
+    MarkovBranch,
+    PatternBranch,
+)
+from .kernels import (
+    BlendKernel,
+    BodyBuilder,
+    Kernel,
+    Slot,
+    branchy_kernel,
+    compress_kernel,
+    dsp_kernel,
+    dynprog_kernel,
+    fsm_kernel,
+    hashing_kernel,
+    matrix_kernel,
+    pointer_chase_kernel,
+    sorting_kernel,
+    sparse_kernel,
+    stencil_kernel,
+    streaming_kernel,
+    string_match_kernel,
+)
+from .phases import Phase, PhaseSchedule
+from .program import SyntheticProgram
+from .rng import derive_seed, generator
+from .streams import (
+    AddressStream,
+    GatherStream,
+    PointerChainStream,
+    RandomStream,
+    SequentialStream,
+    StackStream,
+    StridedStream,
+)
+
+__all__ = [
+    "AddressStream",
+    "BiasedRandomBranch",
+    "BlendKernel",
+    "BodyBuilder",
+    "BranchModel",
+    "GatherStream",
+    "Kernel",
+    "LoopBranch",
+    "MarkovBranch",
+    "PatternBranch",
+    "Phase",
+    "PhaseSchedule",
+    "PointerChainStream",
+    "RandomStream",
+    "SequentialStream",
+    "Slot",
+    "StackStream",
+    "StridedStream",
+    "SyntheticProgram",
+    "branchy_kernel",
+    "compress_kernel",
+    "derive_seed",
+    "dsp_kernel",
+    "dynprog_kernel",
+    "fsm_kernel",
+    "generator",
+    "hashing_kernel",
+    "matrix_kernel",
+    "pointer_chase_kernel",
+    "sorting_kernel",
+    "sparse_kernel",
+    "stencil_kernel",
+    "streaming_kernel",
+    "string_match_kernel",
+]

@@ -1,0 +1,111 @@
+"""Branch-outcome models.
+
+An outcome model produces the taken/not-taken sequence of one static
+branch.  Model choice sets the branch's transition rate, taken rate, and
+PPM predictability:
+
+* :class:`LoopBranch` — backward loop branch, taken ``trip - 1`` out of
+  ``trip`` times: near-perfectly predictable, low transition rate.
+* :class:`BiasedRandomBranch` — i.i.d. Bernoulli outcomes: at p = 0.5 the
+  least predictable branch possible.
+* :class:`PatternBranch` — a fixed periodic pattern: predictable by PPM
+  once the history reaches the period.
+* :class:`MarkovBranch` — sticky two-state outcomes; transition rate is
+  the switch probability, and short histories predict it well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+
+class BranchModel:
+    """Base class for branch-outcome models."""
+
+    def outcomes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return the next ``n`` outcomes (bool array, True = taken)."""
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+
+
+@dataclass
+class LoopBranch(BranchModel):
+    """A loop back-edge with the given trip count."""
+
+    trip: int = 64
+
+    def __post_init__(self) -> None:
+        if self.trip < 1:
+            raise ValueError("trip must be >= 1")
+
+    def outcomes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        phase = int(rng.integers(0, self.trip))
+        position = (phase + np.arange(n, dtype=np.int64)) % self.trip
+        return position != self.trip - 1
+
+
+@dataclass
+class BiasedRandomBranch(BranchModel):
+    """Independent Bernoulli outcomes with P(taken) = ``p``."""
+
+    p: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError("p must be in [0, 1]")
+
+    def outcomes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        return rng.random(n) < self.p
+
+
+@dataclass
+class PatternBranch(BranchModel):
+    """A fixed periodic outcome pattern, e.g. (T, T, N, T)."""
+
+    pattern: Sequence[bool] = (True, True, False, True)
+
+    def __post_init__(self) -> None:
+        if not len(self.pattern):
+            raise ValueError("pattern must be non-empty")
+        self._pattern = np.asarray(self.pattern, dtype=bool)
+
+    def outcomes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        period = len(self._pattern)
+        phase = int(rng.integers(0, period))
+        idx = (phase + np.arange(n, dtype=np.int64)) % period
+        return self._pattern[idx]
+
+
+@dataclass
+class MarkovBranch(BranchModel):
+    """Sticky outcomes: switch direction with probability ``p_switch``.
+
+    The expected transition rate equals ``p_switch``; low values model
+    data-dependent branches with long same-direction runs.
+    """
+
+    p_switch: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.p_switch <= 1.0:
+            raise ValueError("p_switch must be in [0, 1]")
+
+    def outcomes(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        if n == 0:
+            return np.empty(0, dtype=bool)
+        switches = rng.random(n) < self.p_switch
+        start = bool(rng.integers(0, 2))
+        # outcome[i] = start XOR (parity of switches up to i)
+        parity = np.logical_xor.accumulate(switches)
+        return np.logical_xor(start, parity)

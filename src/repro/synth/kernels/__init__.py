@@ -1,0 +1,39 @@
+"""Kernel behaviour models, one family per module."""
+
+from .base import BodyBuilder, Kernel, Slot, code_base_for, data_base_for
+from .branchy import branchy_kernel
+from .compress import compress_kernel
+from .dsp import dsp_kernel
+from .dynprog import dynprog_kernel
+from .fsm import fsm_kernel
+from .hashing import hashing_kernel
+from .matrix import matrix_kernel
+from .mixed import BlendKernel
+from .pointer_chase import pointer_chase_kernel
+from .sorting import sorting_kernel
+from .sparse import sparse_kernel
+from .stencil import stencil_kernel
+from .streaming import streaming_kernel
+from .string_match import string_match_kernel
+
+__all__ = [
+    "BlendKernel",
+    "BodyBuilder",
+    "Kernel",
+    "Slot",
+    "branchy_kernel",
+    "code_base_for",
+    "compress_kernel",
+    "data_base_for",
+    "dsp_kernel",
+    "dynprog_kernel",
+    "fsm_kernel",
+    "hashing_kernel",
+    "matrix_kernel",
+    "pointer_chase_kernel",
+    "sorting_kernel",
+    "sparse_kernel",
+    "stencil_kernel",
+    "streaming_kernel",
+    "string_match_kernel",
+]

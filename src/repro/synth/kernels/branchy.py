@@ -1,0 +1,78 @@
+"""Control-intensive integer kernels.
+
+Models compilers, interpreters, and game-tree searchers (gcc, crafty,
+sjeng, gobmk, perlbmk): dense conditional branches of varying
+predictability, logic/shift-heavy integer work, small stack-frame data
+reuse, and a large instruction footprint (many static code paths, which
+we model with body variants).
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import BiasedRandomBranch, LoopBranch, PatternBranch
+from ..rng import generator
+from ..streams import RandomStream, StackStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def branchy_kernel(
+    *,
+    seed: int,
+    name: str = "branchy",
+    branch_every: int = 5,
+    n_branches: int = 6,
+    branch_entropy: float = 0.35,
+    patterned_frac: float = 0.4,
+    heap_kb: int = 512,
+    n_variants: int = 24,
+    trip: int = 24,
+    chain_frac: float = 0.45,
+) -> Kernel:
+    """Build a control-intensive integer kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        branch_every: integer instructions between conditional branches.
+        n_branches: conditional branches per body.
+        branch_entropy: P(taken) of the hard (data-dependent) branches.
+        patterned_frac: fraction of branches following a periodic pattern
+            (predictable with enough PPM history) rather than i.i.d.
+            outcomes.
+        heap_kb: heap working set touched by occasional random loads.
+        n_variants: static code copies (instruction-footprint driver).
+        trip: outer-loop trip count.
+        chain_frac: dependence density of the integer work.
+    """
+    if n_branches < 1:
+        raise ValueError("n_branches must be >= 1")
+    rng = generator("kernel", "branchy", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac)
+    frame = StackStream(data_base_for(rng), frame_bytes=384)
+    heap = RandomStream(data_base_for(rng), working_set_bytes=heap_kb * 1024)
+    int_ops = (OpClass.IADD, OpClass.LOGIC, OpClass.SHIFT, OpClass.IADD, OpClass.CMOV)
+    for b in range(n_branches):
+        for k in range(branch_every):
+            builder.add(int_ops[k % len(int_ops)])
+        if b % 3 == 0:
+            builder.load(frame)
+        elif b % 3 == 1:
+            builder.load(heap)
+        else:
+            builder.store(frame)
+        if rng.random() < patterned_frac:
+            period = int(rng.integers(3, 9))
+            pattern = [bool(rng.integers(0, 2)) for _ in range(period)]
+            if not any(pattern):
+                pattern[0] = True
+            builder.branch(PatternBranch(pattern=tuple(pattern)))
+        else:
+            builder.branch(BiasedRandomBranch(p=branch_entropy))
+    builder.call()
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(
+        name,
+        builder.slots,
+        code_base=code_base_for(rng),
+        n_variants=n_variants,
+    )

@@ -1,0 +1,59 @@
+"""Compression kernels.
+
+Models bzip2/gzip-style entropy coding: byte-granularity input scans,
+frequency/translation table lookups over a modest random-access set,
+shift-heavy bit packing, and branches of intermediate predictability
+(symbol statistics are skewed but not constant).
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import BiasedRandomBranch, LoopBranch, PatternBranch
+from ..rng import generator
+from ..streams import RandomStream, SequentialStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def compress_kernel(
+    *,
+    seed: int,
+    name: str = "compress",
+    input_mb: int = 8,
+    table_kb: int = 256,
+    shifts_per_symbol: int = 4,
+    symbol_skew: float = 0.72,
+    block_pattern: bool = True,
+    trip: int = 160,
+    chain_frac: float = 0.5,
+) -> Kernel:
+    """Build a compression kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        input_mb: input stream size.
+        table_kb: model/translation table size (random-access set).
+        shifts_per_symbol: bit-packing shifts per encoded symbol.
+        symbol_skew: P(taken) of the symbol-class branch; skewed
+            distributions make this branch partially predictable.
+        block_pattern: include a periodic block-boundary branch.
+        trip: symbols per block (loop trip count).
+        chain_frac: dependence density (bit buffers are serial).
+    """
+    rng = generator("kernel", "compress", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac, dst_window=14)
+    source = SequentialStream(data_base_for(rng), stride=1, region_bytes=input_mb * (1 << 20))
+    table = RandomStream(data_base_for(rng), working_set_bytes=table_kb * 1024, align=4)
+    output = SequentialStream(data_base_for(rng), stride=4, region_bytes=input_mb * (1 << 20))
+    builder.load(source)
+    builder.load(table)
+    for k in range(shifts_per_symbol):
+        builder.add(OpClass.SHIFT if k % 2 == 0 else OpClass.LOGIC)
+    builder.add(OpClass.IADD)
+    builder.branch(BiasedRandomBranch(p=symbol_skew))
+    builder.store(output)
+    builder.store(table)
+    if block_pattern:
+        builder.branch(PatternBranch(pattern=(True,) * 7 + (False,)))
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

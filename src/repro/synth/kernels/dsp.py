@@ -1,0 +1,75 @@
+"""DSP kernels: multiply-accumulate pipelines over sample streams.
+
+Models the inner loops of media encoders/decoders and signal-processing
+codes (MediaBench II, BMW's speech front-end): dense multiplies feeding
+accumulators, short-stride sample streams, saturating logic, and highly
+predictable looping.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import LoopBranch, PatternBranch
+from ..rng import generator
+from ..streams import SequentialStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def dsp_kernel(
+    *,
+    seed: int,
+    name: str = "dsp",
+    taps: int = 8,
+    fp: bool = False,
+    sample_stride: int = 2,
+    buffer_kb: int = 64,
+    accumulators: int = 4,
+    saturate: bool = True,
+    trip: int = 128,
+) -> Kernel:
+    """Build a multiply-accumulate DSP kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        taps: filter taps per output sample (mul/add pairs).
+        fp: floating-point (True) or fixed-point integer (False) MACs.
+        sample_stride: bytes between input samples (2 = 16-bit audio).
+        buffer_kb: sample/coefficient buffer size.
+        accumulators: independent accumulator chains; more accumulators
+            mean more ILP (software-pipelined inner loops).
+        saturate: add saturation logic (shift/cmov) per output.
+        trip: inner-loop trip count.
+    """
+    if taps < 1 or accumulators < 1:
+        raise ValueError("taps and accumulators must be >= 1")
+    rng = generator("kernel", "dsp", seed)
+    # Low chain_frac: the accumulators are architected as independent
+    # chains, which is what gives DSP loops their high ILP.
+    builder = BodyBuilder(rng, chain_frac=max(0.1, 0.9 / accumulators), dst_window=8 + 2 * accumulators)
+    samples = SequentialStream(
+        data_base_for(rng), stride=sample_stride, region_bytes=buffer_kb * 1024
+    )
+    coeffs = SequentialStream(data_base_for(rng), stride=4, region_bytes=4096)
+    output = SequentialStream(
+        data_base_for(rng), stride=sample_stride, region_bytes=buffer_kb * 1024
+    )
+    mul_op = OpClass.FMUL if fp else OpClass.IMUL
+    add_op = OpClass.FADD if fp else OpClass.IADD
+    # Sample and coefficient loads are blocked (as in an unrolled filter
+    # loop), so consecutive accesses stride through each buffer and the
+    # global stride distribution is dominated by short strides.
+    for _ in range(taps):
+        builder.load(samples)
+    for _ in range(taps):
+        builder.load(coeffs)
+    for _ in range(taps):
+        builder.add(mul_op)
+        builder.add(add_op)
+    if saturate:
+        builder.add(OpClass.SHIFT)
+        builder.add(OpClass.CMOV)
+    builder.store(output)
+    builder.branch(LoopBranch(trip=trip))
+    # Block-boundary branch: periodic, predictable with enough history.
+    builder.branch(PatternBranch(pattern=(True, True, True, False)))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

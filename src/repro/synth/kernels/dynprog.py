@@ -1,0 +1,66 @@
+"""Dynamic-programming kernels: 2D table fills.
+
+Models alignment algorithms (clustalw, t-coffee, hmmer's Viterbi core,
+fasta's Smith-Waterman stage): per-cell loads of the left, upper and
+diagonal neighbours (one short and two row-pitch strides), add/maximum
+recurrences (cmov-heavy, serial along a row), a sequential store of the
+new row, and near-perfect loop branches.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import LoopBranch
+from ..rng import generator
+from ..streams import SequentialStream, StridedStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def dynprog_kernel(
+    *,
+    seed: int,
+    name: str = "dynprog",
+    row_bytes: int = 4096,
+    table_mb: int = 8,
+    states: int = 1,
+    cmov_per_cell: int = 3,
+    adds_per_cell: int = 4,
+    trip: int = 512,
+    chain_frac: float = 0.6,
+) -> Kernel:
+    """Build a dynamic-programming table-fill kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        row_bytes: DP-table row pitch (vertical-neighbour stride).
+        table_mb: DP table size (data footprint).
+        states: states per cell (HMM profiles have several; plain
+            alignment has one).  Multiplies per-cell work.
+        cmov_per_cell: max/select operations per cell per state.
+        adds_per_cell: score additions per cell per state.
+        trip: row length (inner-loop trip count).
+        chain_frac: serial dependence of the recurrence.
+    """
+    if states < 1:
+        raise ValueError("states must be >= 1")
+    rng = generator("kernel", "dynprog", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac, dst_window=14)
+    region = table_mb * (1 << 20)
+    base = data_base_for(rng)
+    left = SequentialStream(base, stride=8, region_bytes=region)
+    up = StridedStream(base + row_bytes, stride=row_bytes, region_bytes=region)
+    diag = StridedStream(base + row_bytes + 8, stride=row_bytes, region_bytes=region)
+    out = SequentialStream(data_base_for(rng), stride=8, region_bytes=region)
+    scores = SequentialStream(data_base_for(rng), stride=4, region_bytes=64 * 1024)
+    for _ in range(states):
+        builder.load(left)
+        builder.load(up)
+        builder.load(diag)
+        builder.load(scores)
+        for _ in range(adds_per_cell):
+            builder.add(OpClass.IADD)
+        for _ in range(cmov_per_cell):
+            builder.add(OpClass.CMOV)
+        builder.store(out)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

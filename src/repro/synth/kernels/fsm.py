@@ -1,0 +1,63 @@
+"""Table-driven finite-state-machine kernels.
+
+Models bitstream parsers and protocol decoders (the entropy-decode
+stages of h264/mpeg, glimmer's model evaluation, parts of parser):
+loads from a small state-transition table, logic-dominated work, cmov
+state selects, and branches following the quasi-periodic structure of
+the input syntax.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import LoopBranch, MarkovBranch, PatternBranch
+from ..rng import generator
+from ..streams import RandomStream, SequentialStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def fsm_kernel(
+    *,
+    seed: int,
+    name: str = "fsm",
+    table_kb: int = 64,
+    input_mb: int = 4,
+    logic_per_symbol: int = 5,
+    syntax_period: int = 6,
+    noise: float = 0.15,
+    n_variants: int = 4,
+    trip: int = 96,
+    chain_frac: float = 0.65,
+) -> Kernel:
+    """Build a table-driven FSM kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        table_kb: state-transition table size.
+        input_mb: input bitstream size.
+        logic_per_symbol: logic/shift ops per consumed symbol.
+        syntax_period: period of the dominant syntax branch pattern.
+        noise: switch probability of the data-dependent escape branch.
+        n_variants: static code copies (one per syntax element kind).
+        trip: symbols per parse burst.
+        chain_frac: dependence density (next state depends on current).
+    """
+    if syntax_period < 2:
+        raise ValueError("syntax_period must be >= 2")
+    rng = generator("kernel", "fsm", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac, dst_window=10)
+    table = RandomStream(data_base_for(rng), working_set_bytes=table_kb * 1024, align=4)
+    stream = SequentialStream(data_base_for(rng), stride=1, region_bytes=input_mb * (1 << 20))
+    pattern = tuple(k != syntax_period - 1 for k in range(syntax_period))
+    builder.load(stream)
+    builder.load(table)
+    for k in range(logic_per_symbol):
+        builder.add(OpClass.SHIFT if k % 3 == 1 else OpClass.LOGIC)
+    builder.add(OpClass.CMOV)
+    builder.branch(PatternBranch(pattern=pattern))
+    builder.add(OpClass.IADD)
+    builder.branch(MarkovBranch(p_switch=noise))
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(
+        name, builder.slots, code_base=code_base_for(rng), n_variants=n_variants
+    )

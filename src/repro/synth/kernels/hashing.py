@@ -1,0 +1,64 @@
+"""Hash-table kernels.
+
+Models symbol-table and associative-container heavy codes (perlbmk,
+perlbench, xalancbmk, gap): a multiply/shift/xor hash computation, a
+random probe into a large table, sticky hit/miss branches, and
+occasional insertion stores.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import LoopBranch, MarkovBranch
+from ..rng import generator
+from ..streams import RandomStream, SequentialStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def hashing_kernel(
+    *,
+    seed: int,
+    name: str = "hashing",
+    table_mb: int = 16,
+    hash_ops: int = 6,
+    probes: int = 2,
+    miss_stickiness: float = 0.25,
+    insert_every: int = 4,
+    n_variants: int = 8,
+    trip: int = 64,
+    chain_frac: float = 0.6,
+) -> Kernel:
+    """Build a hash-table kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        table_mb: hash-table size (data footprint).
+        hash_ops: mul/shift/xor operations per key hash.
+        probes: table probes per lookup (open addressing).
+        miss_stickiness: switch probability of the hit/miss branch.
+        insert_every: one insertion store per this many lookups
+            (approximated as one store slot per body).
+        n_variants: static code copies.
+        trip: lookups per burst.
+        chain_frac: dependence density (the hash chain is serial).
+    """
+    if probes < 1:
+        raise ValueError("probes must be >= 1")
+    rng = generator("kernel", "hashing", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac, dst_window=12)
+    table = RandomStream(data_base_for(rng), working_set_bytes=table_mb * (1 << 20))
+    keys = SequentialStream(data_base_for(rng), stride=16, region_bytes=1 << 20)
+    hash_cycle = (OpClass.IMUL, OpClass.SHIFT, OpClass.LOGIC)
+    builder.load(keys)
+    for k in range(hash_ops):
+        builder.add(hash_cycle[k % len(hash_cycle)])
+    for _ in range(probes):
+        builder.load(table)
+        builder.add(OpClass.LOGIC)
+        builder.branch(MarkovBranch(p_switch=miss_stickiness))
+    if insert_every:
+        builder.store(table)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(
+        name, builder.slots, code_base=code_base_for(rng), n_variants=n_variants
+    )

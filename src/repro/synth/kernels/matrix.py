@@ -1,0 +1,61 @@
+"""Dense linear-algebra kernels.
+
+Models BLAS-like cores (sixtrack's tracking loops, calculix, gamess,
+parts of apsi/galgel): unit-stride row accesses paired with
+column-pitch strides, deep floating-point multiply/add pipelines with
+several independent accumulators (very high ILP), tiny instruction
+footprints, and essentially perfect branch prediction.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import LoopBranch
+from ..rng import generator
+from ..streams import SequentialStream, StridedStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def matrix_kernel(
+    *,
+    seed: int,
+    name: str = "matrix",
+    matrix_kb: int = 512,
+    row_bytes: int = 2048,
+    accumulators: int = 4,
+    macs_per_iter: int = 8,
+    divides: int = 0,
+    trip: int = 256,
+) -> Kernel:
+    """Build a dense linear-algebra kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        matrix_kb: operand matrix size (data footprint).
+        row_bytes: column-walk stride.
+        accumulators: independent FMA chains (ILP driver).
+        macs_per_iter: multiply+add pairs per unrolled iteration.
+        divides: FDIV/FSQRT operations per iteration (triangular
+            solves and normalizations have a few; GEMM has none).
+        trip: inner-loop trip count.
+    """
+    if accumulators < 1 or macs_per_iter < 1:
+        raise ValueError("accumulators and macs_per_iter must be >= 1")
+    rng = generator("kernel", "matrix", seed)
+    builder = BodyBuilder(
+        rng, chain_frac=max(0.08, 0.8 / accumulators), dst_window=8 + 3 * accumulators
+    )
+    region = matrix_kb * 1024
+    a_rows = SequentialStream(data_base_for(rng), stride=8, region_bytes=region)
+    b_cols = StridedStream(data_base_for(rng), stride=row_bytes, region_bytes=region)
+    c_out = SequentialStream(data_base_for(rng), stride=8, region_bytes=region)
+    for k in range(macs_per_iter):
+        builder.load(a_rows)
+        builder.load(b_cols)
+        builder.add(OpClass.FMUL)
+        builder.add(OpClass.FADD)
+    for k in range(divides):
+        builder.add(OpClass.FSQRT if k % 2 else OpClass.FDIV)
+    builder.store(c_out)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

@@ -1,0 +1,74 @@
+"""Kernel composition: fine-grain blends of kernel behaviours.
+
+Real benchmarks rarely spend an entire interval in one textbook kernel;
+a video encoder interleaves motion estimation (streaming) with entropy
+coding (FSM).  :class:`BlendKernel` interleaves chunks of several
+sub-kernels inside a single interval, producing intervals whose
+characteristics are weighted blends — this is how the suite models
+produce the "mixed" clusters the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ...isa import Trace, concat
+from .base import Kernel
+
+
+class BlendKernel:
+    """Interleaves chunks of sub-kernels by weight.
+
+    Implements the same ``generate(n, rng)`` protocol as
+    :class:`~repro.synth.kernels.base.Kernel`, so phases can use blends
+    and plain kernels interchangeably.
+
+    Args:
+        name: diagnostic name.
+        parts: ``(kernel, weight)`` pairs; weights are normalized.
+        chunk: instructions per interleave chunk.  Smaller chunks give a
+            finer-grained blend (more "average" looking intervals).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        parts: Sequence[Tuple[Kernel, float]],
+        *,
+        chunk: int = 512,
+    ) -> None:
+        if not parts:
+            raise ValueError("BlendKernel requires at least one part")
+        if chunk <= 0:
+            raise ValueError("chunk must be positive")
+        total = float(sum(weight for _, weight in parts))
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        self.name = name
+        self.parts: List[Tuple[Kernel, float]] = [
+            (kernel, weight / total) for kernel, weight in parts
+        ]
+        self.chunk = chunk
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k.name}:{w:.2f}" for k, w in self.parts)
+        return f"BlendKernel({self.name!r}, [{inner}])"
+
+    def generate(self, n: int, rng: np.random.Generator) -> Trace:
+        """Emit ``n`` instructions, interleaving sub-kernel chunks."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        if n == 0:
+            return Trace.empty()
+        weights = np.array([w for _, w in self.parts])
+        pieces: List[Trace] = []
+        remaining = n
+        while remaining > 0:
+            idx = int(rng.choice(len(self.parts), p=weights))
+            kernel = self.parts[idx][0]
+            size = min(self.chunk, remaining)
+            pieces.append(kernel.generate(size, rng))
+            remaining -= size
+        return concat(pieces)

@@ -1,0 +1,69 @@
+"""Pointer-chasing kernels: linked-structure traversal.
+
+Models graph/network codes (mcf, omnetpp, astar's open list): loads that
+walk a pseudo-random chain of nodes (large irregular strides, big data
+footprint), serial dependence through the chain (low ILP), and
+data-dependent branches with poor predictability.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import BiasedRandomBranch, LoopBranch, MarkovBranch
+from ..rng import generator
+from ..streams import PointerChainStream, StackStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def pointer_chase_kernel(
+    *,
+    seed: int,
+    name: str = "pointer_chase",
+    n_nodes: int = 1 << 16,
+    node_bytes: int = 64,
+    fields_per_node: int = 2,
+    work_per_node: int = 4,
+    branch_entropy: float = 0.45,
+    sticky_branches: bool = False,
+    trip: int = 96,
+    chain_frac: float = 0.75,
+) -> Kernel:
+    """Build a pointer-chasing kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        n_nodes: nodes in the linked structure (footprint driver).
+        node_bytes: node size.
+        fields_per_node: loads per visited node.
+        work_per_node: integer operations per visited node.
+        branch_entropy: P(taken) of the per-node data-dependent branch;
+            values near 0.5 are the least predictable.
+        sticky_branches: use a sticky Markov branch instead of i.i.d.
+            outcomes (runs of same-direction decisions).
+        trip: iterations per traversal burst (loop branch trip count).
+        chain_frac: serial-dependence density (high = pointer chain).
+    """
+    rng = generator("kernel", "pointer_chase", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac, dst_window=12)
+    chain = PointerChainStream(
+        data_base_for(rng),
+        n_nodes=n_nodes,
+        node_bytes=node_bytes,
+        layout_seed=seed,
+    )
+    frame = StackStream(data_base_for(rng), frame_bytes=192)
+    data_branch = (
+        MarkovBranch(p_switch=branch_entropy)
+        if sticky_branches
+        else BiasedRandomBranch(p=branch_entropy)
+    )
+    for _ in range(fields_per_node):
+        builder.load(chain)
+    for k in range(work_per_node):
+        builder.add(OpClass.LOGIC if k % 3 == 2 else OpClass.IADD)
+    builder.branch(data_branch)
+    builder.load(frame)
+    builder.add(OpClass.IADD)
+    builder.store(frame)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

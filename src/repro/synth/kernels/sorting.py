@@ -1,0 +1,51 @@
+"""Comparison-sort kernels.
+
+Models sort/search phases (parts of gcc, vortex's object management,
+astar's priority queue maintenance): random accesses within a working
+set, fifty-fifty compare branches (the textbook unpredictable branch),
+and swap-like load/store pairs.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import BiasedRandomBranch, LoopBranch
+from ..rng import generator
+from ..streams import RandomStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def sorting_kernel(
+    *,
+    seed: int,
+    name: str = "sorting",
+    working_set_kb: int = 1024,
+    compare_entropy: float = 0.5,
+    swap_frac_ops: int = 3,
+    trip: int = 48,
+    chain_frac: float = 0.5,
+) -> Kernel:
+    """Build a comparison-sort kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        working_set_kb: array under sort (data footprint).
+        compare_entropy: P(taken) of the compare branch; 0.5 at the
+            start of a sort, drifting toward predictability as runs
+            merge — callers model that drift across phases.
+        swap_frac_ops: integer ops per compare (index arithmetic).
+        trip: partition/merge run length (loop trip count).
+        chain_frac: dependence density.
+    """
+    rng = generator("kernel", "sorting", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac)
+    keys = RandomStream(data_base_for(rng), working_set_bytes=working_set_kb * 1024)
+    builder.load(keys)
+    builder.load(keys)
+    for k in range(swap_frac_ops):
+        builder.add(OpClass.LOGIC if k % 3 == 2 else OpClass.IADD)
+    builder.branch(BiasedRandomBranch(p=compare_entropy))
+    builder.store(keys)
+    builder.add(OpClass.IADD)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

@@ -1,0 +1,65 @@
+"""Sparse/irregular-gather kernels.
+
+Models sparse solvers and particle codes (soplex, milc's gauge links,
+equake, art's neuron weights): indexed gathers ``A[idx[i]]`` with
+clustered irregularity, floating-point update work, and predictable
+loops — memory behaviour between streaming and pointer chasing.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import BiasedRandomBranch, LoopBranch
+from ..rng import generator
+from ..streams import GatherStream, SequentialStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def sparse_kernel(
+    *,
+    seed: int,
+    name: str = "sparse",
+    data_mb: int = 32,
+    cluster_len: int = 12,
+    fp_per_element: int = 5,
+    fp: bool = True,
+    guard_entropy: float = 0.12,
+    trip: int = 384,
+    chain_frac: float = 0.4,
+) -> Kernel:
+    """Build a sparse-gather kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        data_mb: gathered data size (footprint driver).
+        cluster_len: consecutive elements per gather cluster; larger
+            values mean more short strides among the long jumps.
+        fp_per_element: floating-point ops per gathered element.
+        fp: floating point (True) or integer (False) update work.
+        guard_entropy: P(taken) of the occasional guard branch
+            (boundary/fill-in tests).
+        trip: inner-loop trip count.
+        chain_frac: dependence density.
+    """
+    rng = generator("kernel", "sparse", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac)
+    index = SequentialStream(data_base_for(rng), stride=4, region_bytes=data_mb * (1 << 18))
+    data = GatherStream(
+        data_base_for(rng),
+        working_set_bytes=data_mb * (1 << 20),
+        cluster_len=cluster_len,
+    )
+    out = SequentialStream(data_base_for(rng), stride=8, region_bytes=data_mb * (1 << 20))
+    add_op = OpClass.FADD if fp else OpClass.IADD
+    mul_op = OpClass.FMUL if fp else OpClass.IMUL
+    builder.load(index)
+    # Paired data loads (value + neighbour) keep short strides visible
+    # inside each gather cluster.
+    builder.load(data)
+    builder.load(data)
+    for k in range(fp_per_element):
+        builder.add(mul_op if k % 3 == 1 else add_op)
+    builder.branch(BiasedRandomBranch(p=guard_entropy))
+    builder.store(out)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

@@ -1,0 +1,66 @@
+"""Stencil kernels: structured-grid nearest-neighbour updates.
+
+Models PDE solvers and image filters (mgrid, zeusmp, leslie3d, lbm):
+row-neighbour loads at short strides, column-neighbour loads one row
+apart (a large constant stride), a floating-point update, and a
+sequential writeback.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import LoopBranch
+from ..rng import generator
+from ..streams import SequentialStream, StridedStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def stencil_kernel(
+    *,
+    seed: int,
+    name: str = "stencil",
+    row_bytes: int = 8192,
+    grid_mb: int = 16,
+    points: int = 5,
+    fp_ops_per_point: int = 8,
+    unroll: int = 2,
+    trip: int = 512,
+    chain_frac: float = 0.45,
+) -> Kernel:
+    """Build a stencil kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        row_bytes: grid row pitch; column neighbours stride by this.
+        grid_mb: grid size (sets the data footprint).
+        points: stencil points (5 = von Neumann, 9 = Moore, 7 = 3D).
+        fp_ops_per_point: floating-point work per grid point.
+        unroll: inner-loop unroll factor.
+        trip: inner-loop trip count.
+        chain_frac: dependence density of the update computation.
+    """
+    if points < 3:
+        raise ValueError("points must be >= 3")
+    rng = generator("kernel", "stencil", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac)
+    region = grid_mb * (1 << 20)
+    base = data_base_for(rng)
+    # Row neighbours: consecutive elements around the centre.
+    row_streams = [
+        SequentialStream(base + off * 8, stride=8, region_bytes=region)
+        for off in range(min(points, 3))
+    ]
+    # Column neighbours: one row pitch away.
+    col_streams = [
+        StridedStream(base + k * row_bytes, stride=row_bytes, region_bytes=region)
+        for k in range(max(0, points - 3))
+    ]
+    output = SequentialStream(data_base_for(rng), stride=8, region_bytes=region)
+    for _ in range(unroll):
+        for stream in row_streams + col_streams:
+            builder.load(stream)
+        for k in range(fp_ops_per_point):
+            builder.add(OpClass.FMUL if k % 4 == 1 else OpClass.FADD)
+        builder.store(output)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

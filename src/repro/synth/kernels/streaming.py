@@ -1,0 +1,66 @@
+"""Streaming kernels: sequential array traversal with per-element work.
+
+Models the dominant behaviour of media filters and vectorizable
+scientific loops: a few input arrays walked with short strides, a burst
+of arithmetic per element, a sequential output stream, and a
+near-perfectly-predictable loop branch.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import LoopBranch
+from ..rng import generator
+from ..streams import SequentialStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def streaming_kernel(
+    *,
+    seed: int,
+    name: str = "streaming",
+    n_arrays: int = 2,
+    stride: int = 8,
+    region_kb: int = 1024,
+    fp: bool = True,
+    ops_per_element: int = 6,
+    unroll: int = 4,
+    trip: int = 256,
+    chain_frac: float = 0.35,
+) -> Kernel:
+    """Build a streaming kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        n_arrays: number of input arrays (1-4 is typical).
+        stride: bytes between consecutive elements.
+        region_kb: per-array region size (sets the data footprint).
+        fp: floating-point (True) or integer (False) element work.
+        ops_per_element: arithmetic operations per loaded element group.
+        unroll: loop unroll factor (more unrolling, higher ILP).
+        trip: inner-loop trip count (sets branch density vs. work).
+        chain_frac: dependence-chain density of the element work.
+    """
+    if n_arrays < 1:
+        raise ValueError("n_arrays must be >= 1")
+    rng = generator("kernel", "streaming", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac)
+    inputs = [
+        SequentialStream(data_base_for(rng), stride=stride, region_bytes=region_kb * 1024)
+        for _ in range(n_arrays)
+    ]
+    output = SequentialStream(data_base_for(rng), stride=stride, region_bytes=region_kb * 1024)
+    add_op = OpClass.FADD if fp else OpClass.IADD
+    mul_op = OpClass.FMUL if fp else OpClass.IMUL
+    # Loads are grouped per array across the unrolled iterations, as a
+    # vectorizing compiler would schedule them: consecutive accesses then
+    # hit consecutive elements, producing runs of short *global* strides.
+    for stream in inputs:
+        for _ in range(unroll):
+            builder.load(stream)
+    for _ in range(unroll):
+        for k in range(ops_per_element):
+            builder.add(mul_op if k % 3 == 1 else add_op)
+        builder.store(output)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

@@ -1,0 +1,74 @@
+"""String/sequence-matching kernels.
+
+Models the scanning cores of bio-informatics tools (blast, fasta,
+hmmer's hit filter): byte-granularity sequential reads over two streams
+(database and query), compare-and-branch logic whose outcome depends on
+the data (moderate entropy), and a very high integer-add fraction from
+index arithmetic.  This behaviour combination — byte strides plus heavy
+integer add plus mediocre branches — is what makes BioPerf occupy a
+region of the workload space SPEC barely touches.
+"""
+
+from __future__ import annotations
+
+from ...isa import OpClass
+from ..branches import BiasedRandomBranch, LoopBranch, MarkovBranch
+from ..rng import generator
+from ..streams import SequentialStream
+from .base import BodyBuilder, Kernel, code_base_for, data_base_for
+
+
+def string_match_kernel(
+    *,
+    seed: int,
+    name: str = "string_match",
+    database_mb: int = 32,
+    query_kb: int = 16,
+    match_prob: float = 0.3,
+    sticky_matches: bool = True,
+    adds_per_byte: int = 5,
+    byte_stride: int = 1,
+    trip: int = 192,
+    chain_frac: float = 0.55,
+) -> Kernel:
+    """Build a string/sequence matching kernel.
+
+    Args:
+        seed: deterministic wiring/layout seed.
+        database_mb: database stream size (large sequential footprint).
+        query_kb: query stream size (small, heavily reused).
+        match_prob: probability the compare branch observes a match.
+        sticky_matches: matches arrive in runs (seed-and-extend
+            behaviour) rather than independently.
+        adds_per_byte: index/score integer adds per scanned byte.
+        byte_stride: stride of the scan (1 = byte-at-a-time).
+        trip: inner scan-loop trip count.
+        chain_frac: dependence density of the scoring arithmetic.
+    """
+    rng = generator("kernel", "string_match", seed)
+    builder = BodyBuilder(rng, chain_frac=chain_frac, dst_window=16)
+    database = SequentialStream(
+        data_base_for(rng), stride=byte_stride, region_bytes=database_mb * (1 << 20)
+    )
+    query = SequentialStream(
+        data_base_for(rng), stride=byte_stride, region_bytes=query_kb * 1024
+    )
+    match_branch = (
+        MarkovBranch(p_switch=min(0.95, 2 * match_prob * (1 - match_prob)))
+        if sticky_matches
+        else BiasedRandomBranch(p=match_prob)
+    )
+    # Scanning compares a window of adjacent database bytes against the
+    # query: consecutive byte loads produce the short global strides that
+    # are characteristic of sequence scanning.
+    builder.load(database)
+    builder.load(database)
+    builder.load(database)
+    builder.load(query)
+    builder.add(OpClass.LOGIC)  # compare
+    for k in range(adds_per_byte):
+        builder.add(OpClass.SHIFT if k % 4 == 3 else OpClass.IADD)
+    builder.branch(match_branch)
+    builder.add(OpClass.IADD)
+    builder.branch(LoopBranch(trip=trip))
+    return Kernel(name, builder.slots, code_base=code_base_for(rng))

@@ -1,0 +1,164 @@
+"""Address-stream models.
+
+A stream model produces the sequence of effective addresses that a set of
+static memory instructions touches, in program order.  Stream choice is
+what gives a kernel its data footprint and its global/local stride
+distributions:
+
+* :class:`SequentialStream` — unit/short-stride array traversal
+  (streaming media and scientific codes).
+* :class:`StridedStream` — large constant strides (column walks, structure
+  fields).
+* :class:`RandomStream` — uniform accesses over a working set (hash
+  tables, symbol tables).
+* :class:`PointerChainStream` — a fixed pseudo-random permutation walk
+  (linked data structures; mcf/omnetpp-like).
+* :class:`GatherStream` — indexed gathers ``A[B[i]]``: a sequential index
+  stream driving random-ish data accesses (sparse codes).
+* :class:`StackStream` — tight reuse of a small frame region.
+
+All models are vectorized: ``addresses(n, rng)`` returns ``n`` addresses
+as an ``int64`` array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class AddressStream:
+    """Base class for address-stream models."""
+
+    #: every stream places its addresses above this base so addresses are
+    #: positive and distinct streams can be given distinct regions.
+    base: int
+
+    def addresses(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Return the next ``n`` addresses of this stream, program order."""
+        raise NotImplementedError
+
+    def _check(self, n: int) -> None:
+        if n < 0:
+            raise ValueError("n must be non-negative")
+
+
+@dataclass
+class SequentialStream(AddressStream):
+    """Walk a region with a constant short stride, wrapping at the end.
+
+    Args:
+        base: region base address.
+        stride: bytes between consecutive accesses (default 8).
+        region_bytes: region size; the walk wraps around it.
+    """
+
+    base: int
+    stride: int = 8
+    region_bytes: int = 1 << 20
+
+    def addresses(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        start = int(rng.integers(0, max(1, self.region_bytes // 8))) * 8
+        offsets = (start + np.arange(n, dtype=np.int64) * self.stride) % self.region_bytes
+        return self.base + offsets
+
+
+@dataclass
+class StridedStream(AddressStream):
+    """Walk a region with a large constant stride (e.g. matrix columns)."""
+
+    base: int
+    stride: int = 4096
+    region_bytes: int = 1 << 24
+
+    def addresses(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        start = int(rng.integers(0, max(1, self.region_bytes // 64))) * 64
+        offsets = (start + np.arange(n, dtype=np.int64) * self.stride) % self.region_bytes
+        return self.base + offsets
+
+
+@dataclass
+class RandomStream(AddressStream):
+    """Uniformly random accesses over a working set.
+
+    ``align`` controls access granularity (8 for word accesses).
+    """
+
+    base: int
+    working_set_bytes: int = 1 << 20
+    align: int = 8
+
+    def addresses(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        slots = max(1, self.working_set_bytes // self.align)
+        return self.base + rng.integers(0, slots, size=n, dtype=np.int64) * self.align
+
+@dataclass
+class PointerChainStream(AddressStream):
+    """Walk a fixed pseudo-random cyclic permutation of nodes.
+
+    Models pointer chasing through a linked structure: the *same* chain is
+    revisited across invocations (fixed layout per stream instance), while
+    the entry point varies, so local strides are large and irregular but
+    the footprint is bounded by ``n_nodes * node_bytes``.
+    """
+
+    base: int
+    n_nodes: int = 4096
+    node_bytes: int = 64
+    layout_seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.n_nodes <= 0:
+            raise ValueError("n_nodes must be positive")
+        layout_rng = np.random.Generator(np.random.PCG64(self.layout_seed))
+        # A single n-cycle: visit order is a fixed random permutation.
+        self._order = layout_rng.permutation(self.n_nodes).astype(np.int64)
+
+    def addresses(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        start = int(rng.integers(0, self.n_nodes))
+        idx = (start + np.arange(n, dtype=np.int64)) % self.n_nodes
+        return self.base + self._order[idx] * self.node_bytes
+
+
+@dataclass
+class GatherStream(AddressStream):
+    """Indexed gathers ``A[B[i]]`` with clustered indices.
+
+    Indices advance sequentially but jump to a random cluster every
+    ``cluster_len`` accesses, producing a mix of short and long strides.
+    """
+
+    base: int
+    working_set_bytes: int = 1 << 22
+    elem_bytes: int = 8
+    cluster_len: int = 16
+
+    def addresses(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        slots = max(1, self.working_set_bytes // self.elem_bytes)
+        n_clusters = (n + self.cluster_len - 1) // self.cluster_len
+        starts = rng.integers(0, slots, size=n_clusters, dtype=np.int64)
+        within = np.arange(n, dtype=np.int64) % self.cluster_len
+        cluster_of = np.arange(n, dtype=np.int64) // self.cluster_len
+        idx = (starts[cluster_of] + within) % slots
+        return self.base + idx * self.elem_bytes
+
+
+@dataclass
+class StackStream(AddressStream):
+    """Re-access a small frame region with short random offsets."""
+
+    base: int
+    frame_bytes: int = 256
+
+    def addresses(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        self._check(n)
+        slots = max(1, self.frame_bytes // 8)
+        return self.base + rng.integers(0, slots, size=n, dtype=np.int64) * 8

@@ -1,0 +1,22 @@
+"""A small trace-driven microarchitecture timing substrate.
+
+Provides the microarchitecture-*dependent* counterpart to
+:mod:`repro.mica`: concrete caches, branch predictors, and a
+first-order timing model, used to validate phase-level simulation
+methodology (paper section 5.3's implications).
+"""
+
+from .branch_predictor import BimodalPredictor, GSharePredictor
+from .cache import Cache, CacheConfig, CacheHierarchy
+from .machine import MachineConfig, SimResult, simulate
+
+__all__ = [
+    "BimodalPredictor",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "GSharePredictor",
+    "MachineConfig",
+    "SimResult",
+    "simulate",
+]

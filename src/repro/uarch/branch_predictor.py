@@ -1,0 +1,92 @@
+"""Dynamic branch predictors (microarchitecture-*dependent*).
+
+Unlike the theoretical PPM predictor in :mod:`repro.mica.ppm` (an upper
+bound on predictability), these are concrete hardware predictors with
+finite tables, used by the timing substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counters."""
+
+    def __init__(self, table_bits: int = 12) -> None:
+        if not 1 <= table_bits <= 24:
+            raise ValueError("table_bits out of range")
+        self._mask = (1 << table_bits) - 1
+        self._table = np.full(1 << table_bits, 1, dtype=np.int8)  # weakly NT
+        self.predictions = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.predictions if self.predictions else 0.0
+
+    def predict_many(self, pcs: np.ndarray, outcomes: np.ndarray) -> int:
+        """Run the predictor over a branch stream; returns miss count."""
+        table = self._table
+        mask = self._mask
+        misses = 0
+        pc_list = (np.asarray(pcs, dtype=np.int64) >> 2).tolist()
+        out_list = np.asarray(outcomes, dtype=bool).tolist()
+        for pc, taken in zip(pc_list, out_list):
+            idx = pc & mask
+            counter = table[idx]
+            if (counter >= 2) != taken:
+                misses += 1
+            if taken:
+                if counter < 3:
+                    table[idx] = counter + 1
+            elif counter > 0:
+                table[idx] = counter - 1
+        self.predictions += len(pc_list)
+        self.misses += misses
+        return misses
+
+
+class GSharePredictor:
+    """Global-history predictor: table indexed by ``pc XOR history``."""
+
+    def __init__(self, table_bits: int = 12, history_bits: int = 12) -> None:
+        if not 1 <= table_bits <= 24:
+            raise ValueError("table_bits out of range")
+        if not 1 <= history_bits <= 24:
+            raise ValueError("history_bits out of range")
+        self._mask = (1 << table_bits) - 1
+        self._hist_mask = (1 << history_bits) - 1
+        self._table = np.full(1 << table_bits, 1, dtype=np.int8)
+        self._history = 0
+        self.predictions = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.predictions if self.predictions else 0.0
+
+    def predict_many(self, pcs: np.ndarray, outcomes: np.ndarray) -> int:
+        """Run the predictor over a branch stream; returns miss count."""
+        table = self._table
+        mask = self._mask
+        hist_mask = self._hist_mask
+        history = self._history
+        misses = 0
+        pc_list = (np.asarray(pcs, dtype=np.int64) >> 2).tolist()
+        out_list = np.asarray(outcomes, dtype=bool).tolist()
+        for pc, taken in zip(pc_list, out_list):
+            idx = (pc ^ history) & mask
+            counter = table[idx]
+            if (counter >= 2) != taken:
+                misses += 1
+            if taken:
+                if counter < 3:
+                    table[idx] = counter + 1
+            elif counter > 0:
+                table[idx] = counter - 1
+            history = ((history << 1) | taken) & hist_mask
+        self._history = history
+        self.predictions += len(pc_list)
+        self.misses += misses
+        return misses

@@ -1,0 +1,157 @@
+"""Set-associative LRU cache simulation.
+
+The paper's application context is simulation-based performance
+evaluation: phase analysis exists to decide *what* to simulate.  This
+module provides the memory-hierarchy half of a small trace-driven
+timing substrate used to validate that intervals clustered by
+microarchitecture-independent features behave alike on concrete
+microarchitectures (see :mod:`repro.analysis.simpoints`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    associativity: int = 4
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError("cache parameters must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError("size must be a multiple of line * associativity")
+        n_sets = self.size_bytes // (self.line_bytes * self.associativity)
+        if n_sets & (n_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+
+class Cache:
+    """One LRU set-associative cache level.
+
+    State is per-instance; create a fresh cache per simulation so
+    intervals can be simulated independently (the paper's phase-level
+    simulation assumes per-interval warmup is manageable at the chosen
+    interval size — section 2.9).
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self._line_shift = int(config.line_bytes).bit_length() - 1
+        self._set_mask = config.n_sets - 1
+        # Per set: list of tags in LRU order (index -1 = most recent).
+        self._sets: List[List[int]] = [[] for _ in range(config.n_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        """Zero the counters (state is kept — for warmup protocols)."""
+        self.accesses = 0
+        self.misses = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def access(self, address: int) -> bool:
+        """Access one address; returns True on hit."""
+        line = address >> self._line_shift
+        set_idx = line & self._set_mask
+        tag = line >> 0  # full line id doubles as tag (set bits redundant but harmless)
+        ways = self._sets[set_idx]
+        self.accesses += 1
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.misses += 1
+            ways.append(tag)
+            if len(ways) > self.config.associativity:
+                ways.pop(0)
+            return False
+        ways.append(tag)
+        return True
+
+    def access_many(self, addresses: np.ndarray) -> int:
+        """Access a sequence of addresses; returns the miss count.
+
+        The loop is unavoidable (cache state is sequential); this method
+        hoists attribute lookups out of it.
+        """
+        line_shift = self._line_shift
+        set_mask = self._set_mask
+        sets = self._sets
+        assoc = self.config.associativity
+        misses = 0
+        lines = (np.asarray(addresses, dtype=np.int64) >> line_shift).tolist()
+        for line in lines:
+            ways = sets[line & set_mask]
+            try:
+                ways.remove(line)
+            except ValueError:
+                misses += 1
+                ways.append(line)
+                if len(ways) > assoc:
+                    ways.pop(0)
+            else:
+                ways.append(line)
+        self.accesses += len(lines)
+        self.misses += misses
+        return misses
+
+
+class CacheHierarchy:
+    """A two-level hierarchy: L1 backed by a unified L2.
+
+    Misses in L1 are looked up in L2; the simulator charges each level's
+    misses its own penalty.
+    """
+
+    def __init__(self, l1: CacheConfig, l2: Optional[CacheConfig]) -> None:
+        self.l1 = Cache(l1)
+        self.l2 = Cache(l2) if l2 is not None else None
+
+    def access_many(self, addresses: np.ndarray) -> tuple:
+        """Access addresses through the hierarchy.
+
+        Returns ``(l1_misses, l2_misses)``.
+        """
+        addresses = np.asarray(addresses, dtype=np.int64)
+        if len(addresses) == 0:
+            return 0, 0
+        # Find L1 misses one access at a time (state-dependent), but
+        # collect them so L2 sees only its own reference stream.
+        line_shift = self.l1._line_shift
+        set_mask = self.l1._set_mask
+        sets = self.l1._sets
+        assoc = self.l1.config.associativity
+        miss_addresses = []
+        lines = (addresses >> line_shift).tolist()
+        for i, line in enumerate(lines):
+            ways = sets[line & set_mask]
+            try:
+                ways.remove(line)
+            except ValueError:
+                miss_addresses.append(int(addresses[i]))
+                ways.append(line)
+                if len(ways) > assoc:
+                    ways.pop(0)
+            else:
+                ways.append(line)
+        self.l1.accesses += len(lines)
+        self.l1.misses += len(miss_addresses)
+        if self.l2 is None:
+            return len(miss_addresses), 0
+        l2_misses = self.l2.access_many(np.asarray(miss_addresses, dtype=np.int64))
+        return len(miss_addresses), l2_misses

@@ -1,0 +1,29 @@
+"""Visualization: kiviat plots, pie charts, SVG pages, ASCII output."""
+
+from .charts import bar_chart_svg, line_chart_svg
+from .ascii import ascii_bar_chart, ascii_curve_table, ascii_kiviat
+from .html import write_report_index
+from .kiviat import KiviatScale, draw_kiviat
+from .pie import draw_pie
+from .report import build_kiviat_scale, render_prominent_phase_pages
+from .scatter import workload_space_map, write_workload_space_map
+from .svg import PALETTE, SvgCanvas, polar_points
+
+__all__ = [
+    "KiviatScale",
+    "PALETTE",
+    "SvgCanvas",
+    "ascii_bar_chart",
+    "bar_chart_svg",
+    "ascii_curve_table",
+    "ascii_kiviat",
+    "build_kiviat_scale",
+    "draw_kiviat",
+    "draw_pie",
+    "line_chart_svg",
+    "polar_points",
+    "render_prominent_phase_pages",
+    "workload_space_map",
+    "write_report_index",
+    "write_workload_space_map",
+]

@@ -1,0 +1,63 @@
+"""Terminal-friendly renderings for examples and bench output."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .kiviat import KiviatScale
+
+
+def ascii_kiviat(
+    values: np.ndarray, scale: KiviatScale, *, width: int = 28
+) -> List[str]:
+    """Render one phase's key characteristics as horizontal bars.
+
+    Each line: ``name |#####----| value`` with the bar spanning the
+    per-axis [min, max] range — the textual equivalent of the kiviat
+    polygon.
+    """
+    frac = scale.normalize(np.asarray(values, dtype=np.float64))
+    lines = []
+    name_w = max(len(n) for n in scale.names)
+    for name, f, v in zip(scale.names, frac, values):
+        filled = int(round(f * width))
+        bar = "#" * filled + "-" * (width - filled)
+        lines.append(f"{name:<{name_w}s} |{bar}| {v:.3g}")
+    return lines
+
+
+def ascii_bar_chart(
+    values: Dict[str, float], *, width: int = 40, fmt: str = "{:.0f}"
+) -> List[str]:
+    """A labelled horizontal bar chart (Figure 4 / Figure 6 style)."""
+    if not values:
+        return []
+    peak = max(values.values()) or 1.0
+    name_w = max(len(k) for k in values)
+    lines = []
+    for name, v in values.items():
+        filled = int(round(width * v / peak)) if peak else 0
+        lines.append(f"{name:<{name_w}s} {'█' * filled}{' ' * (width - filled)} " + fmt.format(v))
+    return lines
+
+
+def ascii_curve_table(
+    curves: Dict[str, np.ndarray], checkpoints: Sequence[int]
+) -> List[str]:
+    """Cumulative-coverage curves as a compact table (Figure 5 style).
+
+    One row per suite, one column per cluster-count checkpoint.
+    """
+    name_w = max(len(k) for k in curves) if curves else 5
+    header = f"{'suite':<{name_w}s} " + " ".join(f"{c:>6d}" for c in checkpoints)
+    lines = [header]
+    for suite, curve in curves.items():
+        cells = []
+        for c in checkpoints:
+            idx = min(c, len(curve)) - 1
+            value = curve[idx] if idx >= 0 else 0.0
+            cells.append(f"{100 * value:5.1f}%")
+        lines.append(f"{suite:<{name_w}s} " + " ".join(cells))
+    return lines

@@ -1,0 +1,115 @@
+"""SVG bar and line charts for the suite-comparison figures.
+
+Renders Figure 4 (coverage), Figure 5 (cumulative coverage curves) and
+Figure 6 (uniqueness) as standalone SVG, matching the terminal
+renderings in :mod:`repro.viz.ascii`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .svg import PALETTE, SvgCanvas
+
+
+def bar_chart_svg(
+    values: Dict[str, float],
+    *,
+    title: str = "",
+    unit: str = "",
+    width: float = 520,
+    bar_height: float = 22,
+) -> str:
+    """A horizontal labelled bar chart (Figures 4 and 6)."""
+    if not values:
+        raise ValueError("values must be non-empty")
+    pad_left = 10 + max(len(k) for k in values) * 6.5
+    pad_right = 60
+    top = 36
+    height = top + bar_height * len(values) + 14
+    canvas = SvgCanvas(width, height)
+    if title:
+        canvas.text(10, 20, title, size=12, bold=True)
+    peak = max(values.values()) or 1.0
+    span = width - pad_left - pad_right
+    for i, (name, value) in enumerate(values.items()):
+        y = top + i * bar_height
+        length = span * value / peak
+        color = PALETTE[i % len(PALETTE)]
+        canvas.text(pad_left - 6, y + bar_height * 0.65, name, size=10, anchor="end")
+        canvas.add(
+            f'<rect x="{pad_left:.1f}" y="{y + 3:.1f}" width="{max(length, 0.5):.1f}" '
+            f'height="{bar_height - 8:.1f}" fill="{color}"/>'
+        )
+        canvas.text(
+            pad_left + length + 5,
+            y + bar_height * 0.65,
+            f"{value:g}{unit}",
+            size=9,
+        )
+    return canvas.to_string()
+
+
+def line_chart_svg(
+    curves: Dict[str, np.ndarray],
+    *,
+    title: str = "",
+    x_label: str = "number of clusters",
+    y_label: str = "cumulative coverage",
+    width: float = 560,
+    height: float = 400,
+    max_x: Optional[int] = None,
+) -> str:
+    """Cumulative-coverage curves (Figure 5).
+
+    Each curve is a vector of cumulative fractions; the x axis is the
+    1-based cluster count.
+    """
+    curves = {k: np.asarray(v, dtype=np.float64) for k, v in curves.items()}
+    curves = {k: v for k, v in curves.items() if len(v)}
+    if not curves:
+        raise ValueError("need at least one non-empty curve")
+    if max_x is None:
+        max_x = max(len(v) for v in curves.values())
+    max_x = max(1, max_x)
+    pad = 50.0
+    canvas = SvgCanvas(width, height)
+    if title:
+        canvas.text(10, 20, title, size=12, bold=True)
+    x0, y0 = pad, height - pad
+    x1, y1 = width - pad - 110, pad
+    canvas.line(x0, y0, x1, y0, stroke="#444", width=1)
+    canvas.line(x0, y0, x0, y1, stroke="#444", width=1)
+    canvas.text((x0 + x1) / 2, height - 12, x_label, size=10, anchor="middle")
+    canvas.text(14, (y0 + y1) / 2, y_label, size=10, anchor="middle")
+    # y gridlines at 20% steps
+    for frac in (0.2, 0.4, 0.6, 0.8, 1.0):
+        gy = y0 - frac * (y0 - y1)
+        canvas.line(x0, gy, x1, gy, stroke="#ddd", width=0.5)
+        canvas.text(x0 - 4, gy + 3, f"{int(100 * frac)}%", size=8, anchor="end")
+
+    def to_px(x: float, frac: float):
+        px = x0 + (x / max_x) * (x1 - x0)
+        py = y0 - frac * (y0 - y1)
+        return px, py
+
+    ly = pad
+    for i, (name, curve) in enumerate(curves.items()):
+        color = PALETTE[i % len(PALETTE)]
+        points = [to_px(0, 0.0)]
+        for j, frac in enumerate(curve[:max_x], start=1):
+            points.append(to_px(j, float(frac)))
+        if len(curve) < max_x and len(curve) > 0:
+            points.append(to_px(max_x, float(curve[-1])))
+        path = "M " + " L ".join(f"{x:.1f} {y:.1f}" for x, y in points)
+        canvas.add(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="1.6"/>'
+        )
+        canvas.add(
+            f'<rect x="{x1 + 12:.1f}" y="{ly - 8:.1f}" width="10" height="10" fill="{color}"/>'
+        )
+        canvas.text(x1 + 26, ly, name, size=9)
+        ly += 16
+    return canvas.to_string()

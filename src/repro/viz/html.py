@@ -1,0 +1,80 @@
+"""HTML report index: one page linking every rendered artifact."""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional
+
+from ..core import PhaseCharacterization
+
+_STYLE = """
+body { font-family: Helvetica, Arial, sans-serif; margin: 2em; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; } td, th { padding: 2px 10px;
+border-bottom: 1px solid #ddd; text-align: left; }
+pre { background: #f6f6f6; padding: 0.8em; overflow-x: auto; }
+object { border: 1px solid #ddd; margin: 0.4em 0; max-width: 100%; }
+"""
+
+
+def write_report_index(
+    result: PhaseCharacterization,
+    output_dir,
+    *,
+    svg_pages: Iterable[Path] = (),
+    text_reports: Iterable[Path] = (),
+    title: str = "Phase-level workload characterization report",
+) -> Path:
+    """Write ``index.html`` embedding the SVG pages and text reports.
+
+    Args:
+        result: the characterization the artifacts came from.
+        output_dir: directory to write into; embedded artifacts are
+            referenced relative to it, so pass paths inside it.
+        svg_pages: SVG files to embed (kiviat pages, scatter maps).
+        text_reports: plain-text experiment reports to inline.
+        title: page title.
+
+    Returns:
+        The path of the written index.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    parts: List[str] = [
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>",
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        "<table>",
+        f"<tr><th>sampled intervals</th><td>{len(result.dataset)}</td></tr>",
+        f"<tr><th>benchmarks</th><td>{len(set(result.dataset.benchmark_keys))}</td></tr>",
+        f"<tr><th>principal components</th><td>{result.n_components} "
+        f"({100 * result.explained_variance:.1f}% of variance)</td></tr>",
+        f"<tr><th>clusters</th><td>{result.clustering.k}</td></tr>",
+        f"<tr><th>prominent phases</th><td>{len(result.prominent)} "
+        f"({100 * result.prominent.coverage:.1f}% coverage)</td></tr>",
+    ]
+    if result.key_characteristics:
+        parts.append(
+            "<tr><th>key characteristics</th><td>"
+            + html.escape(", ".join(result.key_characteristics))
+            + "</td></tr>"
+        )
+    parts.append("</table>")
+
+    for page in svg_pages:
+        page = Path(page)
+        rel = page.relative_to(output_dir) if page.is_relative_to(output_dir) else page
+        parts.append(f"<h2>{html.escape(page.stem)}</h2>")
+        parts.append(f"<object data='{rel}' type='image/svg+xml'></object>")
+
+    for report in text_reports:
+        report = Path(report)
+        parts.append(f"<h2>{html.escape(report.stem)}</h2>")
+        parts.append(f"<pre>{html.escape(report.read_text())}</pre>")
+
+    parts.append("</body></html>")
+    index = output_dir / "index.html"
+    index.write_text("\n".join(parts))
+    return index

@@ -1,0 +1,109 @@
+"""Kiviat (radar) plots of prominent phases (methodology step 6).
+
+Each prominent phase is drawn as a polygon over the key characteristics
+selected by the GA.  Ring semantics follow the paper: the centre is the
+minimum observed value per axis, the outer ring the maximum, and
+intermediate rings mark mean - sd, mean, and mean + sd (clipped into
+the [min, max] range where necessary — the paper's legend makes the
+same caveat).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from .svg import SvgCanvas, polar_points
+
+
+@dataclass(frozen=True)
+class KiviatScale:
+    """Per-axis scaling statistics fitted over the prominent phases."""
+
+    names: List[str]
+    minimum: np.ndarray
+    maximum: np.ndarray
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, matrix: np.ndarray, names: Sequence[str]) -> "KiviatScale":
+        """Fit the scale to the phases' key-characteristic matrix."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(names):
+            raise ValueError("matrix/names shape mismatch")
+        if len(matrix) < 2:
+            raise ValueError("need at least two phases to build a scale")
+        return cls(
+            names=list(names),
+            minimum=matrix.min(axis=0),
+            maximum=matrix.max(axis=0),
+            mean=matrix.mean(axis=0),
+            std=matrix.std(axis=0),
+        )
+
+    @property
+    def n_axes(self) -> int:
+        return len(self.names)
+
+    def normalize(self, values: np.ndarray) -> np.ndarray:
+        """Map raw axis values to [0, 1] radial fractions."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.n_axes,):
+            raise ValueError("values length mismatch")
+        span = self.maximum - self.minimum
+        span = np.where(span > 0, span, 1.0)
+        return np.clip((values - self.minimum) / span, 0.0, 1.0)
+
+    def ring_fractions(self) -> List[np.ndarray]:
+        """Radial fractions of the mean-sd / mean / mean+sd rings."""
+        rings = []
+        for offset in (-1.0, 0.0, 1.0):
+            rings.append(self.normalize(np.clip(
+                self.mean + offset * self.std, self.minimum, self.maximum
+            )))
+        return rings
+
+
+def draw_kiviat(
+    canvas: SvgCanvas,
+    cx: float,
+    cy: float,
+    radius: float,
+    values: np.ndarray,
+    scale: KiviatScale,
+    *,
+    fill: str = "#555",
+    label_axes: bool = False,
+) -> None:
+    """Draw one kiviat plot onto ``canvas``.
+
+    Args:
+        canvas: target canvas.
+        cx, cy, radius: geometry.
+        values: raw key-characteristic values of the phase.
+        scale: the shared axis scale (fitted over all phases).
+        fill: polygon fill colour (the paper's "dark gray area").
+        label_axes: annotate axis indices (used in the legend plot).
+    """
+    n = scale.n_axes
+    # Axes and outer ring.
+    outer = polar_points(cx, cy, [radius] * n)
+    for x, y in outer:
+        canvas.line(cx, cy, x, y, stroke="#bbb", width=0.4)
+    canvas.polygon(outer, stroke="#999", width=0.6)
+    # Statistic rings (mean - sd, mean, mean + sd): irregular polygons
+    # because each axis has its own statistics.
+    for ring in scale.ring_fractions():
+        pts = polar_points(cx, cy, list(radius * np.maximum(ring, 1e-3)))
+        canvas.polygon(pts, stroke="#ccc", width=0.4)
+    # The phase polygon.
+    frac = scale.normalize(values)
+    pts = polar_points(cx, cy, list(radius * np.maximum(frac, 1e-3)))
+    canvas.polygon(pts, stroke="#222", fill=fill, width=1.0, opacity=0.55)
+    if label_axes:
+        labels = polar_points(cx, cy, [radius + 8] * n)
+        for i, (x, y) in enumerate(labels):
+            canvas.text(x, y, str(i + 1), size=7, anchor="middle")

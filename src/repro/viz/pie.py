@@ -1,0 +1,41 @@
+"""Pie charts of cluster composition (who a phase represents)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .svg import PALETTE, SvgCanvas
+
+
+def draw_pie(
+    canvas: SvgCanvas,
+    cx: float,
+    cy: float,
+    radius: float,
+    shares: Sequence[Tuple[str, float]],
+    *,
+    min_slice: float = 0.02,
+    other_label: str = "other",
+) -> List[Tuple[str, str]]:
+    """Draw a composition pie; returns ``(label, colour)`` legend pairs.
+
+    Shares below ``min_slice`` are merged into a single "other" wedge,
+    mirroring the paper's grouping of sub-1% benchmarks.
+    """
+    shares = sorted(shares, key=lambda kv: kv[1], reverse=True)
+    total = sum(s for _, s in shares)
+    if total <= 0:
+        raise ValueError("shares must sum to a positive value")
+    major = [(label, s / total) for label, s in shares if s / total >= min_slice]
+    minor = 1.0 - sum(s for _, s in major)
+    if minor > 1e-9:
+        n_minor = len(shares) - len(major)
+        major.append((f"{other_label} ({n_minor})", minor))
+    legend: List[Tuple[str, str]] = []
+    start = 0.0
+    for i, (label, share) in enumerate(major):
+        color = PALETTE[i % len(PALETTE)]
+        canvas.wedge(cx, cy, radius, start, start + share, fill=color)
+        legend.append((label, color))
+        start += share
+    return legend

@@ -1,0 +1,124 @@
+"""Figure 2/3 generator: kiviat pages of the prominent phases.
+
+Renders every prominent phase as a cell — cluster weight, kiviat plot
+over the GA-selected key characteristics, composition pie, and the
+benchmark list with per-benchmark represented fractions — grouped into
+the paper's three sections (benchmark-specific, suite-specific, mixed),
+plus an axis legend.  Output is standalone SVG.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..analysis import ClusterKind, cluster_compositions, compositions_by_id
+from ..core import PhaseCharacterization
+from ..mica import FEATURE_INDEX, FEATURES
+from .kiviat import KiviatScale, draw_kiviat
+from .pie import draw_pie
+from .svg import SvgCanvas
+
+_CELL_W = 300
+_CELL_H = 150
+_COLS = 4
+
+
+def build_kiviat_scale(result: PhaseCharacterization) -> KiviatScale:
+    """Fit the shared kiviat axis scale over the prominent phases."""
+    if not result.key_characteristics:
+        raise ValueError("characterization has no key characteristics (GA skipped)")
+    idx = [FEATURE_INDEX[name] for name in result.key_characteristics]
+    matrix = result.prominent_matrix[:, idx]
+    return KiviatScale.fit(matrix, result.key_characteristics)
+
+
+def _draw_cell(
+    canvas: SvgCanvas,
+    x: float,
+    y: float,
+    weight: float,
+    values: np.ndarray,
+    scale: KiviatScale,
+    shares: List[Tuple[str, float]],
+    fractions: Dict[str, float],
+) -> None:
+    canvas.text(x + 8, y + 14, f"weight: {100 * weight:.2f}%", size=9, bold=True)
+    draw_kiviat(canvas, x + 60, y + 85, 48, values, scale)
+    draw_pie(canvas, x + 150, y + 85, 32, shares)
+    # Benchmark list: top contributors with their represented fraction.
+    top = sorted(fractions.items(), key=lambda kv: kv[1], reverse=True)
+    ty = y + 30
+    shown = 0
+    for key, frac in top:
+        if shown >= 6:
+            canvas.text(x + 195, ty, f"+{len(top) - shown} more", size=7, color="#666")
+            break
+        canvas.text(x + 195, ty, f"{key.split('/')[-1]}: {100 * frac:.1f}%", size=7)
+        ty += 11
+        shown += 1
+
+
+def render_prominent_phase_pages(
+    result: PhaseCharacterization,
+    output_dir: Path,
+    *,
+    prefix: str = "fig",
+) -> List[Path]:
+    """Write the Figure 2/3 SVG pages; returns the written paths.
+
+    One page per cluster group (benchmark-specific, suite-specific,
+    mixed) plus an axis legend page.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    scale = build_kiviat_scale(result)
+    idx = [FEATURE_INDEX[name] for name in result.key_characteristics]
+    comp = compositions_by_id(
+        cluster_compositions(result.dataset, result.clustering)
+    )
+    groups: Dict[ClusterKind, List[int]] = {kind: [] for kind in ClusterKind}
+    for j, cluster in enumerate(result.prominent.cluster_ids):
+        groups[comp[int(cluster)].kind].append(j)
+
+    written: List[Path] = []
+    for kind in ClusterKind:
+        members = groups[kind]
+        if not members:
+            continue
+        rows = (len(members) + _COLS - 1) // _COLS
+        canvas = SvgCanvas(_COLS * _CELL_W + 20, rows * _CELL_H + 40)
+        canvas.text(10, 20, f"{kind.value} clusters ({len(members)})", size=13, bold=True)
+        for slot, j in enumerate(members):
+            x = 10 + (slot % _COLS) * _CELL_W
+            y = 30 + (slot // _COLS) * _CELL_H
+            cluster = int(result.prominent.cluster_ids[j])
+            c = comp[cluster]
+            rep_row = result.prominent.representative_rows[j]
+            values = result.dataset.features[rep_row][idx]
+            _draw_cell(
+                canvas,
+                x,
+                y,
+                float(result.prominent.weights[j]),
+                values,
+                scale,
+                c.pie_shares(),
+                c.benchmark_fraction,
+            )
+        path = output_dir / f"{prefix}_{kind.value.replace('-', '_')}.svg"
+        path.write_text(canvas.to_string())
+        written.append(path)
+
+    # Axis legend page.
+    legend = SvgCanvas(460, 40 + 14 * len(result.key_characteristics))
+    legend.text(10, 20, "kiviat axes (GA-selected key characteristics)", size=12, bold=True)
+    for i, name in enumerate(result.key_characteristics):
+        description = FEATURES[FEATURE_INDEX[name]].description
+        legend.text(10, 40 + 14 * i, f"{i + 1}. {name} — {description}", size=9)
+    legend_path = output_dir / f"{prefix}_legend.svg"
+    legend_path.write_text(legend.to_string())
+    written.append(legend_path)
+    return written

@@ -1,0 +1,97 @@
+"""Workload-space scatter map.
+
+Projects every sampled interval onto the two most significant rescaled
+principal components and colours it by suite — the "map" view of the
+workload space that makes coverage and uniqueness visually obvious
+(general-purpose suites spread wide, domain-specific suites cluster in
+pockets).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import PhaseCharacterization
+from .svg import PALETTE, SvgCanvas
+
+
+def workload_space_map(
+    result: PhaseCharacterization,
+    *,
+    width: float = 640,
+    height: float = 520,
+    components: Tuple[int, int] = (0, 1),
+    suites: Optional[Sequence[str]] = None,
+    point_radius: float = 1.8,
+) -> str:
+    """Render the workload space as an SVG scatter plot.
+
+    Args:
+        result: a fitted characterization.
+        width, height: canvas size in pixels.
+        components: which rescaled principal components form the axes.
+        suites: plotting order (later suites draw on top); defaults to
+            dataset order.
+        point_radius: marker radius.
+
+    Returns:
+        The SVG document as a string.
+    """
+    cx, cy = components
+    space = result.space
+    if max(cx, cy) >= space.shape[1]:
+        raise ValueError("component index out of range")
+    if suites is None:
+        suites = result.dataset.suite_names()
+    xs = space[:, cx]
+    ys = space[:, cy]
+    pad = 40.0
+    x_lo, x_hi = float(xs.min()), float(xs.max())
+    y_lo, y_hi = float(ys.min()), float(ys.max())
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def to_px(x: float, y: float) -> Tuple[float, float]:
+        px = pad + (x - x_lo) / x_span * (width - 2 * pad)
+        py = height - pad - (y - y_lo) / y_span * (height - 2 * pad)
+        return px, py
+
+    canvas = SvgCanvas(width, height)
+    canvas.text(pad, 18, "workload space (rescaled PCA)", size=12, bold=True)
+    canvas.text(width / 2, height - 8, f"PC{cx + 1}", size=10, anchor="middle")
+    canvas.text(12, height / 2, f"PC{cy + 1}", size=10, anchor="middle")
+    canvas.line(pad, height - pad, width - pad, height - pad, stroke="#444", width=1)
+    canvas.line(pad, pad, pad, height - pad, stroke="#444", width=1)
+
+    colors: Dict[str, str] = {
+        suite: PALETTE[i % len(PALETTE)] for i, suite in enumerate(suites)
+    }
+    for suite in suites:
+        mask = result.dataset.suites == suite
+        for x, y in zip(xs[mask], ys[mask]):
+            px, py = to_px(float(x), float(y))
+            canvas.add(
+                f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{point_radius}" '
+                f'fill="{colors[suite]}" fill-opacity="0.55" stroke="none"/>'
+            )
+    # Legend.
+    ly = 30
+    for suite in suites:
+        canvas.add(
+            f'<circle cx="{width - 150:.1f}" cy="{ly - 3}" r="4" '
+            f'fill="{colors[suite]}"/>'
+        )
+        canvas.text(width - 140, ly, suite, size=9)
+        ly += 14
+    return canvas.to_string()
+
+
+def write_workload_space_map(result: PhaseCharacterization, path) -> Path:
+    """Render and write the workload-space map; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(workload_space_map(result))
+    return path

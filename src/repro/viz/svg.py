@@ -1,0 +1,108 @@
+"""A minimal SVG writer.
+
+No plotting dependency is available offline, so the kiviat/pie figure
+pages are emitted as hand-built SVG.  This module keeps the geometry
+math out of the figure code.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+class SvgCanvas:
+    """Accumulates SVG elements and serializes a standalone document."""
+
+    def __init__(self, width: float, height: float) -> None:
+        if width <= 0 or height <= 0:
+            raise ValueError("canvas dimensions must be positive")
+        self.width = width
+        self.height = height
+        self._elements: List[str] = []
+
+    def add(self, element: str) -> None:
+        """Append a raw SVG element."""
+        self._elements.append(element)
+
+    def line(self, x1, y1, x2, y2, *, stroke="#888", width=0.5) -> None:
+        self.add(
+            f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+            f'stroke="{stroke}" stroke-width="{width}"/>'
+        )
+
+    def circle(self, cx, cy, r, *, stroke="#888", fill="none", width=0.5) -> None:
+        self.add(
+            f'<circle cx="{cx:.2f}" cy="{cy:.2f}" r="{r:.2f}" '
+            f'stroke="{stroke}" fill="{fill}" stroke-width="{width}"/>'
+        )
+
+    def polygon(self, points: Sequence[Tuple[float, float]], *, stroke="#333", fill="none", width=1.0, opacity=1.0) -> None:
+        pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
+        self.add(
+            f'<polygon points="{pts}" stroke="{stroke}" fill="{fill}" '
+            f'stroke-width="{width}" fill-opacity="{opacity}"/>'
+        )
+
+    def text(self, x, y, content, *, size=9.0, anchor="start", color="#000", bold=False) -> None:
+        weight = ' font-weight="bold"' if bold else ""
+        content = (
+            str(content)
+            .replace("&", "&amp;")
+            .replace("<", "&lt;")
+            .replace(">", "&gt;")
+        )
+        self.add(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'text-anchor="{anchor}" fill="{color}"'
+            f'{weight} font-family="Helvetica,Arial,sans-serif">{content}</text>'
+        )
+
+    def wedge(self, cx, cy, r, start_frac, stop_frac, *, fill="#69c") -> None:
+        """A pie wedge from ``start_frac`` to ``stop_frac`` of a turn."""
+        if stop_frac - start_frac >= 1.0 - 1e-9:
+            self.circle(cx, cy, r, fill=fill, stroke="none")
+            return
+        a0 = 2 * math.pi * start_frac - math.pi / 2
+        a1 = 2 * math.pi * stop_frac - math.pi / 2
+        x0, y0 = cx + r * math.cos(a0), cy + r * math.sin(a0)
+        x1, y1 = cx + r * math.cos(a1), cy + r * math.sin(a1)
+        large = 1 if (stop_frac - start_frac) > 0.5 else 0
+        self.add(
+            f'<path d="M {cx:.2f} {cy:.2f} L {x0:.2f} {y0:.2f} '
+            f'A {r:.2f} {r:.2f} 0 {large} 1 {x1:.2f} {y1:.2f} Z" '
+            f'fill="{fill}" stroke="#fff" stroke-width="0.4"/>'
+        )
+
+    def to_string(self) -> str:
+        """Serialize a standalone SVG document."""
+        body = "\n".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width:.0f}" height="{self.height:.0f}" '
+            f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
+            f'<rect width="100%" height="100%" fill="white"/>\n'
+            f"{body}\n</svg>\n"
+        )
+
+
+def polar_points(cx: float, cy: float, radii: Sequence[float]) -> List[Tuple[float, float]]:
+    """Points at the given radii on evenly spaced axes around a center.
+
+    Axis 0 points straight up; axes proceed clockwise.
+    """
+    n = len(radii)
+    if n < 3:
+        raise ValueError("need at least 3 axes")
+    points = []
+    for i, r in enumerate(radii):
+        angle = -math.pi / 2 + 2 * math.pi * i / n
+        points.append((cx + r * math.cos(angle), cy + r * math.sin(angle)))
+    return points
+
+
+#: A qualitative palette for pie wedges (cycled as needed).
+PALETTE = (
+    "#4878a8", "#e49444", "#d1615d", "#85b6b2", "#6a9f58",
+    "#e7ca60", "#a87c9f", "#f1a2a9", "#967662", "#b8b0ac",
+)

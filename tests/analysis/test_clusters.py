@@ -1,0 +1,123 @@
+"""Tests for cluster composition and classification.
+
+Uses a hand-crafted dataset/clustering pair with known membership so
+every number is verifiable by eye.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ClusterKind,
+    cluster_compositions,
+    compositions_by_id,
+    group_by_kind,
+)
+from repro.core import WorkloadDataset
+from repro.mica import N_FEATURES
+from repro.stats import Clustering
+
+
+def synthetic_dataset_and_clustering():
+    """6 rows: a/x twice, a/y twice, b/z twice; 3 clusters.
+
+    Cluster 0: both a/x rows (benchmark-specific).
+    Cluster 1: one a/y row + one b/z row (mixed).
+    Cluster 2: one a/y row + one a/x?? no - one a/y and one b/z? ->
+    built as: a/y + a/x? Keep it simple: cluster 2 holds one a/y row
+    and one b/z row?  No: cluster 2 = a/y row + a/x? See labels below.
+    """
+    suites = np.array(["a", "a", "a", "a", "b", "b"])
+    benchmarks = np.array(["x", "x", "y", "y", "z", "z"])
+    features = np.zeros((6, N_FEATURES))
+    dataset = WorkloadDataset(
+        features=features,
+        suites=suites,
+        benchmarks=benchmarks,
+        interval_indices=np.arange(6, dtype=np.int64),
+    )
+    # cluster 0: rows 0,1 (only a/x)        -> benchmark-specific
+    # cluster 1: rows 2,3 (only a/y)        -> benchmark-specific
+    # cluster 2: rows 4,5 (only b/z)        -> benchmark-specific
+    labels = np.array([0, 0, 1, 1, 2, 2])
+    centers = np.zeros((3, 2))
+    clustering = Clustering(
+        centers=centers, labels=labels, bic=0.0, inertia=0.0, n_iter=1
+    )
+    return dataset, clustering
+
+
+def mixed_dataset_and_clustering():
+    suites = np.array(["a", "a", "a", "b", "b", "b"])
+    benchmarks = np.array(["x", "x", "y", "z", "z", "w"])
+    dataset = WorkloadDataset(
+        features=np.zeros((6, N_FEATURES)),
+        suites=suites,
+        benchmarks=benchmarks,
+        interval_indices=np.arange(6, dtype=np.int64),
+    )
+    # cluster 0: rows 0,1 (a/x only)     -> benchmark-specific
+    # cluster 1: rows 2,3 (a/y + b/z)    -> mixed
+    # cluster 2: rows 4,5 (b/z + b/w)    -> suite-specific
+    labels = np.array([0, 0, 1, 1, 2, 2])
+    clustering = Clustering(
+        centers=np.zeros((3, 2)), labels=labels, bic=0.0, inertia=0.0, n_iter=1
+    )
+    return dataset, clustering
+
+
+def test_compositions_cover_all_clusters():
+    dataset, clustering = synthetic_dataset_and_clustering()
+    comps = cluster_compositions(dataset, clustering)
+    assert len(comps) == 3
+    assert sum(c.size for c in comps) == 6
+
+
+def test_weights_sum_to_one():
+    dataset, clustering = synthetic_dataset_and_clustering()
+    comps = cluster_compositions(dataset, clustering)
+    assert sum(c.weight for c in comps) == pytest.approx(1.0)
+
+
+def test_benchmark_fraction_is_of_benchmark():
+    dataset, clustering = mixed_dataset_and_clustering()
+    comps = compositions_by_id(cluster_compositions(dataset, clustering))
+    # b/z has 2 rows total; cluster 1 holds 1 of them.
+    assert comps[1].benchmark_fraction["b/z"] == pytest.approx(1 / 2)
+    # a/x has 2 rows, both in cluster 0.
+    assert comps[0].benchmark_fraction["a/x"] == pytest.approx(1.0)
+
+
+def test_kind_classification():
+    dataset, clustering = mixed_dataset_and_clustering()
+    comps = compositions_by_id(cluster_compositions(dataset, clustering))
+    assert comps[0].kind is ClusterKind.BENCHMARK_SPECIFIC
+    assert comps[1].kind is ClusterKind.MIXED
+    assert comps[2].kind is ClusterKind.SUITE_SPECIFIC
+
+
+def test_group_by_kind_partitions():
+    dataset, clustering = mixed_dataset_and_clustering()
+    comps = cluster_compositions(dataset, clustering)
+    groups = group_by_kind(comps)
+    assert len(groups[ClusterKind.BENCHMARK_SPECIFIC]) == 1
+    assert len(groups[ClusterKind.MIXED]) == 1
+    assert len(groups[ClusterKind.SUITE_SPECIFIC]) == 1
+
+
+def test_pie_shares_sorted_and_normalized():
+    dataset, clustering = mixed_dataset_and_clustering()
+    comps = compositions_by_id(cluster_compositions(dataset, clustering))
+    shares = comps[1].pie_shares()
+    assert sum(s for _, s in shares) == pytest.approx(1.0)
+    assert shares[0][1] >= shares[-1][1]
+
+
+def test_empty_clusters_skipped():
+    dataset, _ = synthetic_dataset_and_clustering()
+    labels = np.array([0, 0, 0, 0, 3, 3])  # clusters 1, 2 empty
+    clustering = Clustering(
+        centers=np.zeros((4, 2)), labels=labels, bic=0.0, inertia=0.0, n_iter=1
+    )
+    comps = cluster_compositions(dataset, clustering)
+    assert [c.cluster_id for c in comps] == [0, 3]

@@ -1,0 +1,56 @@
+"""Tests for workload-space coverage (Figure 4 analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import suite_coverage
+from repro.core import WorkloadDataset
+from repro.mica import N_FEATURES
+from repro.stats import Clustering
+
+
+def build(suites, labels, k):
+    n = len(suites)
+    dataset = WorkloadDataset(
+        features=np.zeros((n, N_FEATURES)),
+        suites=np.array(suites),
+        benchmarks=np.array([f"b{i}" for i in range(n)]),
+        interval_indices=np.arange(n, dtype=np.int64),
+    )
+    clustering = Clustering(
+        centers=np.zeros((k, 2)),
+        labels=np.array(labels),
+        bic=0.0,
+        inertia=0.0,
+        n_iter=1,
+    )
+    return dataset, clustering
+
+
+def test_counts_clusters_touched():
+    dataset, clustering = build(
+        ["a", "a", "a", "b"], [0, 1, 2, 2], k=4
+    )
+    cov = suite_coverage(dataset, clustering)
+    assert cov["a"] == 3
+    assert cov["b"] == 1
+
+
+def test_shared_cluster_counts_for_both():
+    dataset, clustering = build(["a", "b"], [0, 0], k=2)
+    cov = suite_coverage(dataset, clustering)
+    assert cov == {"a": 1, "b": 1}
+
+
+def test_explicit_suite_list_and_missing_suite():
+    dataset, clustering = build(["a", "a"], [0, 1], k=2)
+    cov = suite_coverage(dataset, clustering, suites=["a", "ghost"])
+    assert cov["a"] == 2
+    assert cov["ghost"] == 0
+
+
+def test_coverage_bounded_by_k():
+    labels = [i % 3 for i in range(30)]
+    dataset, clustering = build(["s"] * 30, labels, k=3)
+    cov = suite_coverage(dataset, clustering)
+    assert cov["s"] == 3

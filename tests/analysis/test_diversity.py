@@ -1,0 +1,81 @@
+"""Tests for cumulative coverage / diversity (Figure 5 analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import clusters_to_cover, cumulative_coverage
+from repro.core import WorkloadDataset
+from repro.mica import N_FEATURES
+from repro.stats import Clustering
+
+
+def build(suites, labels, k):
+    n = len(suites)
+    dataset = WorkloadDataset(
+        features=np.zeros((n, N_FEATURES)),
+        suites=np.array(suites),
+        benchmarks=np.array([f"b{i}" for i in range(n)]),
+        interval_indices=np.arange(n, dtype=np.int64),
+    )
+    clustering = Clustering(
+        centers=np.zeros((k, 2)),
+        labels=np.array(labels),
+        bic=0.0,
+        inertia=0.0,
+        n_iter=1,
+    )
+    return dataset, clustering
+
+
+def test_curve_known_answer():
+    # Suite 'a': 4 rows in cluster 0, 2 in cluster 1, 2 in cluster 2.
+    dataset, clustering = build(
+        ["a"] * 8, [0, 0, 0, 0, 1, 1, 2, 2], k=3
+    )
+    curves = cumulative_coverage(dataset, clustering)
+    assert np.allclose(curves["a"], [0.5, 0.75, 1.0])
+
+
+def test_curves_are_monotone_and_end_at_one():
+    rng = np.random.default_rng(5)
+    labels = rng.integers(0, 6, 60).tolist()
+    dataset, clustering = build(["s"] * 60, labels, k=6)
+    curve = cumulative_coverage(dataset, clustering)["s"]
+    assert (np.diff(curve) >= -1e-12).all()
+    assert curve[-1] == pytest.approx(1.0)
+
+
+def test_concentrated_suite_has_shorter_curve():
+    dataset, clustering = build(
+        ["flat"] * 4 + ["peaky"] * 4,
+        [0, 1, 2, 3, 4, 4, 4, 4],
+        k=5,
+    )
+    curves = cumulative_coverage(dataset, clustering)
+    assert len(curves["peaky"]) == 1
+    assert len(curves["flat"]) == 4
+
+
+def test_clusters_to_cover_thresholds():
+    curve = np.array([0.5, 0.75, 0.9, 1.0])
+    assert clusters_to_cover(curve, 0.5) == 1
+    assert clusters_to_cover(curve, 0.8) == 3
+    assert clusters_to_cover(curve, 0.9) == 3
+    assert clusters_to_cover(curve, 1.0) == 4
+
+
+def test_clusters_to_cover_empty_curve():
+    assert clusters_to_cover(np.zeros(0), 0.9) == 0
+
+
+def test_clusters_to_cover_rejects_bad_fraction():
+    with pytest.raises(ValueError):
+        clusters_to_cover(np.array([1.0]), 0.0)
+    with pytest.raises(ValueError):
+        clusters_to_cover(np.array([1.0]), 1.5)
+
+
+def test_missing_suite_gets_empty_curve():
+    dataset, clustering = build(["a"], [0], k=1)
+    curves = cumulative_coverage(dataset, clustering, suites=["a", "ghost"])
+    assert len(curves["ghost"]) == 0

@@ -1,0 +1,88 @@
+"""Tests for per-benchmark insights (section 4.2 helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    benchmark_profile,
+    homogeneity,
+    shared_clusters,
+    unique_fraction_of_benchmark,
+)
+from repro.core import PhaseCharacterization, ProminentPhases, WorkloadDataset
+from repro.mica import N_FEATURES
+from repro.stats import Clustering
+
+
+@pytest.fixture
+def fake_result():
+    suites = np.array(["a"] * 4 + ["b"] * 4)
+    benchmarks = np.array(["x", "x", "x", "y", "z", "z", "w", "w"])
+    dataset = WorkloadDataset(
+        features=np.zeros((8, N_FEATURES)),
+        suites=suites,
+        benchmarks=benchmarks,
+        interval_indices=np.arange(8, dtype=np.int64),
+    )
+    # a/x: clusters {0, 0, 1}; a/y: {1}; b/z: {1, 2}; b/w: {3, 3}
+    labels = np.array([0, 0, 1, 1, 1, 2, 3, 3])
+    clustering = Clustering(
+        centers=np.zeros((4, 2)),
+        labels=labels,
+        bic=0.0,
+        inertia=0.0,
+        n_iter=1,
+    )
+    prominent = ProminentPhases(
+        cluster_ids=np.array([1, 0]),
+        weights=np.array([3 / 8, 2 / 8]),
+        representative_rows=np.array([2, 0]),
+    )
+    return PhaseCharacterization(
+        dataset=dataset,
+        space=np.zeros((8, 2)),
+        n_components=2,
+        explained_variance=1.0,
+        clustering=clustering,
+        prominent=prominent,
+        key_characteristics=None,
+        ga_result=None,
+    )
+
+
+def test_profile_fractions(fake_result):
+    p = benchmark_profile(fake_result, "a", "x")
+    assert p.cluster_fractions[0] == (0, pytest.approx(2 / 3))
+    assert p.cluster_fractions[1] == (1, pytest.approx(1 / 3))
+
+
+def test_profile_unknown_benchmark(fake_result):
+    with pytest.raises(KeyError):
+        benchmark_profile(fake_result, "a", "nope")
+
+
+def test_prominent_phase_count_threshold(fake_result):
+    p = benchmark_profile(fake_result, "a", "x")
+    assert p.prominent_phase_count(threshold=0.5) == 1
+    assert p.prominent_phase_count(threshold=0.2) == 2
+
+
+def test_homogeneity(fake_result):
+    assert homogeneity(fake_result, "b", "w") == pytest.approx(1.0)
+    assert homogeneity(fake_result, "a", "x") == pytest.approx(2 / 3)
+
+
+def test_shared_clusters(fake_result):
+    # a/x and b/z both touch cluster 1.
+    assert shared_clusters(fake_result, ("a", "x"), ("b", "z")) == [1]
+    # a/x and b/w share nothing.
+    assert shared_clusters(fake_result, ("a", "x"), ("b", "w")) == []
+
+
+def test_unique_fraction_of_benchmark(fake_result):
+    # Cluster 0 is a-only; cluster 1 contains suite b too.
+    assert unique_fraction_of_benchmark(fake_result, "a", "x") == pytest.approx(2 / 3)
+    # b/w lives entirely in the b-only cluster 3.
+    assert unique_fraction_of_benchmark(fake_result, "b", "w") == pytest.approx(1.0)
+    # a/y lives entirely in the shared cluster 1.
+    assert unique_fraction_of_benchmark(fake_result, "a", "y") == 0.0

@@ -1,0 +1,49 @@
+"""Tests for similarity-based performance prediction."""
+
+import pytest
+
+from repro.analysis import SimilarityPredictor
+from repro.uarch import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def predictor(small_result, small_config):
+    return SimilarityPredictor(small_result, small_config, MachineConfig())
+
+
+def test_prediction_positive(predictor):
+    cpi = predictor.predict_benchmark_cpi("MediaBenchII", "h264")
+    assert cpi > 0
+
+
+def test_unknown_benchmark_raises(predictor):
+    with pytest.raises(KeyError):
+        predictor.predict_benchmark_cpi("BMW", "retina")
+
+
+def test_prediction_excludes_own_intervals(predictor, small_result):
+    # The target's own rows are excluded from the anchor pool, so the
+    # prediction cannot be a trivial self-lookup.  For an archetype-
+    # sharing benchmark the prediction is still accurate.
+    predicted, true, error = predictor.prediction_error("MediaBenchII", "h264")
+    assert error < 0.5
+
+
+def test_shared_benchmark_predicts_well(predictor):
+    # h264ref shares its archetypes with MediaBench II's h264: the
+    # foreign anchors include near-identical behaviour.
+    _, _, error = predictor.prediction_error("SPECint2006", "h264ref")
+    assert error < 0.3
+
+
+def test_anchor_cpi_cached(predictor):
+    predictor.predict_benchmark_cpi("BMW", "face")
+    n = len(predictor._anchor_cpi)
+    predictor.predict_benchmark_cpi("BMW", "face")
+    assert len(predictor._anchor_cpi) == n
+
+
+def test_prediction_deterministic(predictor):
+    a = predictor.predict_benchmark_cpi("BMW", "speak")
+    b = predictor.predict_benchmark_cpi("BMW", "speak")
+    assert a == b

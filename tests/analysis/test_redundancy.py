@@ -1,0 +1,105 @@
+"""Tests for suite redundancy and marginal-value ordering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import marginal_value_order, suite_redundancy
+from repro.core import WorkloadDataset
+from repro.mica import N_FEATURES
+from repro.stats import Clustering
+
+
+def build(suites, labels, k):
+    n = len(suites)
+    dataset = WorkloadDataset(
+        features=np.zeros((n, N_FEATURES)),
+        suites=np.array(suites),
+        benchmarks=np.array([f"b{i}" for i in range(n)]),
+        interval_indices=np.arange(n, dtype=np.int64),
+    )
+    clustering = Clustering(
+        centers=np.zeros((k, 2)),
+        labels=np.array(labels),
+        bic=0.0,
+        inertia=0.0,
+        n_iter=1,
+    )
+    return dataset, clustering
+
+
+def test_fully_redundant_suite():
+    # Every cluster of 'm' also contains 'ref'.
+    dataset, clustering = build(
+        ["m", "ref", "m", "ref"], [0, 0, 1, 1], k=2
+    )
+    r = suite_redundancy(dataset, clustering, reference_suites=["ref"])
+    assert r["m"] == pytest.approx(1.0)
+
+
+def test_unique_suite_not_redundant():
+    dataset, clustering = build(
+        ["u", "u", "ref", "ref"], [0, 0, 1, 1], k=2
+    )
+    r = suite_redundancy(dataset, clustering, reference_suites=["ref"])
+    assert r["u"] == 0.0
+
+
+def test_partial_redundancy_known_answer():
+    # 'm' has 3 rows in a shared cluster, 1 in its own.
+    dataset, clustering = build(
+        ["m", "m", "m", "ref", "m"], [0, 0, 0, 0, 1], k=2
+    )
+    r = suite_redundancy(dataset, clustering, reference_suites=["ref"])
+    assert r["m"] == pytest.approx(0.75)
+
+
+def test_reference_suite_measured_against_others():
+    # With a single reference, the reference's own redundancy is 0 —
+    # there are no *other* reference suites to cover it.
+    dataset, clustering = build(["ref", "ref"], [0, 1], k=2)
+    r = suite_redundancy(dataset, clustering, reference_suites=["ref"])
+    assert r["ref"] == 0.0
+
+
+def test_two_references_cover_each_other():
+    dataset, clustering = build(["a", "b", "a", "b"], [0, 0, 1, 1], k=2)
+    r = suite_redundancy(dataset, clustering, reference_suites=["a", "b"])
+    assert r["a"] == pytest.approx(1.0)
+    assert r["b"] == pytest.approx(1.0)
+
+
+def test_missing_suite_zero():
+    dataset, clustering = build(["a"], [0], k=1)
+    r = suite_redundancy(
+        dataset, clustering, reference_suites=["a"], suites=["ghost"]
+    )
+    assert r["ghost"] == 0.0
+
+
+def test_marginal_value_order_prefers_wide_suite():
+    # 'wide' touches 3 clusters, 'narrow' 1 (already inside wide's).
+    dataset, clustering = build(
+        ["wide", "wide", "wide", "narrow"], [0, 1, 2, 0], k=3
+    )
+    order = marginal_value_order(dataset, clustering)
+    assert order[0] == "wide"
+    assert order[-1] == "narrow"
+
+
+def test_marginal_value_order_counts_new_clusters_only():
+    # 'a' covers clusters {0,1}; 'b' covers {1,2,3}; 'c' covers {0}.
+    suites = ["a", "a", "b", "b", "b", "c"]
+    labels = [0, 1, 1, 2, 3, 0]
+    dataset, clustering = build(suites, labels, k=4)
+    order = marginal_value_order(dataset, clustering)
+    # b first (3 clusters), then a (adds cluster 0), then c (adds none).
+    assert order == ["b", "a", "c"]
+
+
+def test_order_contains_every_suite_once():
+    rng = np.random.default_rng(3)
+    suites = rng.choice(["a", "b", "c", "d"], 40).tolist()
+    labels = rng.integers(0, 6, 40).tolist()
+    dataset, clustering = build(suites, labels, k=6)
+    order = marginal_value_order(dataset, clustering)
+    assert sorted(order) == sorted(set(suites))

@@ -1,0 +1,93 @@
+"""Tests for phase-based simulation points."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PhaseBasedSimulation,
+    cluster_representative_rows,
+    random_interval_baseline,
+    trace_for_row,
+)
+from repro.uarch import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig()
+
+
+@pytest.fixture(scope="module")
+def sim(small_result, small_config, machine):
+    return PhaseBasedSimulation(small_result, small_config, machine)
+
+
+def test_trace_for_row_regenerates_interval(small_result, small_config):
+    trace = trace_for_row(small_result, 0, small_config)
+    assert len(trace) == small_config.interval_instructions
+    trace.validate()
+
+
+def test_representatives_cover_all_nonempty_clusters(small_result):
+    reps = cluster_representative_rows(small_result)
+    sizes = small_result.clustering.cluster_sizes()
+    assert set(reps) == set(np.flatnonzero(sizes > 0).tolist())
+    for cluster, row in reps.items():
+        assert small_result.clustering.labels[row] == cluster
+
+
+def test_benchmark_cpi_positive(sim):
+    cpi = sim.benchmark_cpi("SPECfp2006", "lbm")
+    assert cpi > 0
+
+
+def test_unknown_benchmark_raises(sim):
+    with pytest.raises(KeyError):
+        sim.benchmark_cpi("BMW", "retina")
+    with pytest.raises(KeyError):
+        sim.true_benchmark_cpi("BMW", "retina")
+
+
+def test_phase_estimate_close_to_truth_for_homogeneous(sim):
+    est = sim.benchmark_cpi("SPECfp2006", "lbm")
+    true = sim.true_benchmark_cpi("SPECfp2006", "lbm")
+    assert est == pytest.approx(true, rel=0.15)
+
+
+def test_phase_estimate_close_for_multiphase(sim):
+    est = sim.benchmark_cpi("SPECint2006", "astar")
+    true = sim.true_benchmark_cpi("SPECint2006", "astar")
+    assert est == pytest.approx(true, rel=0.3)
+
+
+def test_truncated_truth_spans_phases(sim):
+    full = sim.true_benchmark_cpi("BMW", "speak")
+    truncated = sim.true_benchmark_cpi("BMW", "speak", max_intervals=6)
+    # An evenly-spread truncation must not collapse to one phase.
+    assert truncated == pytest.approx(full, rel=0.5)
+
+
+def test_representative_results_are_cached(sim):
+    before = sim.simulated_representatives
+    sim.benchmark_cpi("SPECfp2006", "lbm")
+    mid = sim.simulated_representatives
+    sim.benchmark_cpi("SPECfp2006", "lbm")
+    assert sim.simulated_representatives == mid
+    assert mid >= before
+
+
+def test_reduction_factor(sim, small_result):
+    factor = sim.reduction_factor()
+    reps = cluster_representative_rows(small_result)
+    assert factor == pytest.approx(len(small_result.dataset) / len(reps))
+    assert factor > 1.0
+
+
+def test_random_baseline_returns_member_cpi(sim):
+    cpi = random_interval_baseline(sim, "SPECint2006", "sjeng", seed=3)
+    assert cpi > 0
+
+
+def test_random_baseline_unknown_benchmark(sim):
+    with pytest.raises(KeyError):
+        random_interval_baseline(sim, "BMW", "retina")

@@ -1,0 +1,115 @@
+"""Tests for representative benchmark subsetting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    select_representative_benchmarks,
+    subset_quality,
+)
+from repro.core import WorkloadDataset
+from repro.mica import N_FEATURES
+from repro.stats import Clustering
+
+
+def build(benchmarks, labels, k, suites=None):
+    n = len(benchmarks)
+    dataset = WorkloadDataset(
+        features=np.zeros((n, N_FEATURES)),
+        suites=np.array(suites or ["s"] * n),
+        benchmarks=np.array(benchmarks),
+        interval_indices=np.arange(n, dtype=np.int64),
+    )
+    clustering = Clustering(
+        centers=np.zeros((k, 2)),
+        labels=np.array(labels),
+        bic=0.0,
+        inertia=0.0,
+        n_iter=1,
+    )
+    return dataset, clustering
+
+
+def test_greedy_picks_widest_benchmark_first():
+    # 'wide' covers clusters {0,1,2}; 'a' covers {0}; 'b' covers {3}.
+    dataset, clustering = build(
+        ["wide", "wide", "wide", "a", "b"], [0, 1, 2, 0, 3], k=4
+    )
+    sel = select_representative_benchmarks(dataset, clustering, 2)
+    assert sel.benchmarks[0] == "s/wide"
+    assert sel.benchmarks[1] == "s/b"  # adds the only uncovered cluster
+
+
+def test_coverage_trajectory_monotone_to_one():
+    dataset, clustering = build(
+        ["a", "b", "c", "d"], [0, 1, 2, 3], k=4
+    )
+    sel = select_representative_benchmarks(dataset, clustering, 4)
+    assert list(sel.coverage) == sorted(sel.coverage)
+    assert sel.final_coverage == pytest.approx(1.0)
+
+
+def test_coverage_weighted_by_cluster_size():
+    # 'heavy' covers a 3-row cluster; 'light' a 1-row cluster.
+    dataset, clustering = build(
+        ["heavy", "x", "x", "light"], [0, 0, 0, 1], k=2
+    )
+    sel = select_representative_benchmarks(dataset, clustering, 1)
+    assert sel.benchmarks == ("s/heavy",) or sel.benchmarks == ("s/x",)
+    assert sel.coverage[0] == pytest.approx(0.75)
+
+
+def test_candidates_restrict_selection_not_coverage():
+    dataset, clustering = build(
+        ["a", "b"], [0, 1], k=2
+    )
+    sel = select_representative_benchmarks(
+        dataset, clustering, 2, candidates=["s/a"]
+    )
+    assert sel.benchmarks == ("s/a",)
+    assert sel.final_coverage == pytest.approx(0.5)
+
+
+def test_unknown_candidate_raises():
+    dataset, clustering = build(["a"], [0], k=1)
+    with pytest.raises(KeyError):
+        select_representative_benchmarks(
+            dataset, clustering, 1, candidates=["s/ghost"]
+        )
+
+
+def test_rejects_bad_count():
+    dataset, clustering = build(["a"], [0], k=1)
+    with pytest.raises(ValueError):
+        select_representative_benchmarks(dataset, clustering, 0)
+
+
+def test_subset_quality_matches_selection():
+    dataset, clustering = build(
+        ["a", "b", "c"], [0, 1, 2], k=3
+    )
+    sel = select_representative_benchmarks(dataset, clustering, 2)
+    assert subset_quality(dataset, clustering, sel.benchmarks) == pytest.approx(
+        sel.final_coverage
+    )
+
+
+def test_subset_quality_unknown_benchmark():
+    dataset, clustering = build(["a"], [0], k=1)
+    with pytest.raises(KeyError):
+        subset_quality(dataset, clustering, ["s/ghost"])
+
+
+def test_greedy_on_real_characterization(small_dataset, small_result):
+    sel = select_representative_benchmarks(
+        small_dataset, small_result.clustering, 10
+    )
+    assert len(sel) == 10
+    assert len(set(sel.benchmarks)) == 10
+    # Ten well-chosen benchmarks cover a large share of the space...
+    assert sel.final_coverage > 0.3
+    # ...and greedy beats an arbitrary ten.
+    arbitrary = sorted(set(small_dataset.benchmark_keys))[:10]
+    assert sel.final_coverage >= subset_quality(
+        small_dataset, small_result.clustering, arbitrary
+    )

@@ -1,0 +1,47 @@
+"""Tests for phase timelines."""
+
+import pytest
+
+from repro.analysis.timeline import ascii_timeline, benchmark_timeline
+
+
+def test_timeline_ordered_and_deduplicated(small_result):
+    timeline = benchmark_timeline(small_result, "SPECint2006", "astar")
+    indices = [i for i, _ in timeline]
+    assert indices == sorted(indices)
+    assert len(set(indices)) == len(indices)
+
+
+def test_timeline_unknown_benchmark(small_result):
+    with pytest.raises(KeyError):
+        benchmark_timeline(small_result, "BMW", "retina")
+
+
+def test_timeline_clusters_valid(small_result):
+    timeline = benchmark_timeline(small_result, "SPECfp2006", "wrf")
+    for _, cluster in timeline:
+        assert 0 <= cluster < small_result.clustering.k
+
+
+def test_two_phase_benchmark_shows_transition(small_result):
+    # astar's schedule is [search 40%, graph 60%]: early intervals and
+    # late intervals use different clusters.
+    timeline = benchmark_timeline(small_result, "SPECint2006", "astar")
+    early = {c for _, c in timeline[:3]}
+    late = {c for _, c in timeline[-3:]}
+    assert early != late
+
+
+def test_ascii_strip_and_legend(small_result):
+    lines = ascii_timeline(small_result, "SPECint2006", "astar", width=32)
+    assert lines[0].startswith("SPECint2006/astar: ")
+    strip = lines[0].split(": ", 1)[1]
+    assert 0 < len(strip) <= 32
+    assert "A = cluster" in lines[1]
+
+
+def test_ascii_homogeneous_benchmark_is_mostly_one_letter(small_result):
+    lines = ascii_timeline(small_result, "SPECfp2006", "lbm")
+    strip = lines[0].split(": ", 1)[1]
+    dominant = max(set(strip), key=strip.count)
+    assert strip.count(dominant) / len(strip) > 0.6

@@ -1,0 +1,66 @@
+"""Tests for suite uniqueness (Figure 6 analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import suite_uniqueness
+from repro.core import WorkloadDataset
+from repro.mica import N_FEATURES
+from repro.stats import Clustering
+
+
+def build(suites, labels, k):
+    n = len(suites)
+    dataset = WorkloadDataset(
+        features=np.zeros((n, N_FEATURES)),
+        suites=np.array(suites),
+        benchmarks=np.array([f"b{i}" for i in range(n)]),
+        interval_indices=np.arange(n, dtype=np.int64),
+    )
+    clustering = Clustering(
+        centers=np.zeros((k, 2)),
+        labels=np.array(labels),
+        bic=0.0,
+        inertia=0.0,
+        n_iter=1,
+    )
+    return dataset, clustering
+
+
+def test_fully_unique_suite():
+    dataset, clustering = build(["a", "a", "b", "b"], [0, 0, 1, 1], k=2)
+    uniq = suite_uniqueness(dataset, clustering)
+    assert uniq["a"] == pytest.approx(1.0)
+    assert uniq["b"] == pytest.approx(1.0)
+
+
+def test_fully_shared_suites():
+    dataset, clustering = build(["a", "b", "a", "b"], [0, 0, 1, 1], k=2)
+    uniq = suite_uniqueness(dataset, clustering)
+    assert uniq["a"] == 0.0
+    assert uniq["b"] == 0.0
+
+
+def test_partial_uniqueness_known_answer():
+    # suite a: 3 rows in exclusive cluster 0, 1 row in shared cluster 1.
+    dataset, clustering = build(
+        ["a", "a", "a", "a", "b"], [0, 0, 0, 1, 1], k=2
+    )
+    uniq = suite_uniqueness(dataset, clustering)
+    assert uniq["a"] == pytest.approx(0.75)
+    assert uniq["b"] == 0.0
+
+
+def test_uniqueness_in_unit_interval():
+    rng = np.random.default_rng(9)
+    suites = rng.choice(["a", "b", "c"], 60).tolist()
+    labels = rng.integers(0, 8, 60).tolist()
+    dataset, clustering = build(suites, labels, k=8)
+    for v in suite_uniqueness(dataset, clustering).values():
+        assert 0.0 <= v <= 1.0
+
+
+def test_missing_suite_zero():
+    dataset, clustering = build(["a"], [0], k=1)
+    uniq = suite_uniqueness(dataset, clustering, suites=["ghost"])
+    assert uniq["ghost"] == 0.0

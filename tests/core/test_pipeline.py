@@ -1,0 +1,85 @@
+"""Tests for the end-to-end characterization pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.core import build_dataset, run_characterization
+from repro.mica import N_FEATURES, FEATURE_CATEGORY
+from repro.suites import get_suite
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return AnalysisConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def dataset(cfg):
+    benches = list(get_suite("BMW").benchmarks) + list(get_suite("BioPerf").benchmarks)
+    return build_dataset(benches, cfg)
+
+
+@pytest.fixture(scope="module")
+def result(dataset, cfg):
+    return run_characterization(dataset, cfg, select_key=True)
+
+
+def test_space_shape(result, dataset):
+    assert result.space.shape[0] == len(dataset)
+    assert 1 <= result.space.shape[1] <= N_FEATURES
+    assert result.space.shape[1] == result.n_components
+
+
+def test_space_is_rescaled(result):
+    assert np.allclose(result.space.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(result.space.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_explained_variance_substantial(result):
+    # The paper retains components explaining 85.4%; our substrate sits
+    # in the same regime.
+    assert 0.5 < result.explained_variance <= 1.0
+
+
+def test_clustering_covers_all_rows(result, dataset, cfg):
+    assert len(result.clustering.labels) == len(dataset)
+    assert result.clustering.k <= cfg.n_clusters
+
+
+def test_prominent_phases_selected(result, cfg):
+    assert len(result.prominent) <= cfg.n_prominent
+    assert 0 < result.prominent.coverage <= 1.0
+
+
+def test_key_characteristics_count(result, cfg):
+    assert len(result.key_characteristics) == cfg.n_key_characteristics
+    assert len(set(result.key_characteristics)) == cfg.n_key_characteristics
+
+
+def test_key_characteristics_are_real_features(result):
+    for name in result.key_characteristics:
+        assert name in FEATURE_CATEGORY
+
+
+def test_ga_result_attached(result):
+    assert result.ga_result is not None
+    assert -1.0 <= result.ga_result.fitness <= 1.0
+
+
+def test_prominent_matrix_shape(result):
+    m = result.prominent_matrix
+    assert m.shape == (len(result.prominent), N_FEATURES)
+
+
+def test_skip_ga(dataset, cfg):
+    res = run_characterization(dataset, cfg, select_key=False)
+    assert res.key_characteristics is None
+    assert res.ga_result is None
+
+
+def test_pipeline_deterministic(dataset, cfg):
+    a = run_characterization(dataset, cfg, select_key=False)
+    b = run_characterization(dataset, cfg, select_key=False)
+    assert np.array_equal(a.clustering.labels, b.clustering.labels)
+    assert np.allclose(a.space, b.space)

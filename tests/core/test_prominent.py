@@ -1,0 +1,74 @@
+"""Tests for prominent-phase selection."""
+
+import numpy as np
+import pytest
+
+from repro.core import select_prominent_phases
+from repro.stats import kmeans
+from repro.synth import generator
+
+
+@pytest.fixture
+def clustered():
+    rng = np.random.default_rng(31)
+    # Three blobs with very different sizes.
+    points = np.vstack(
+        [
+            rng.normal(0, 0.2, size=(60, 2)),
+            rng.normal(5, 0.2, size=(30, 2)),
+            rng.normal(10, 0.2, size=(10, 2)),
+        ]
+    )
+    clustering = kmeans(points, 3, restarts=15, rng=generator("pp", 1))
+    return points, clustering
+
+
+def test_selects_heaviest_first(clustered):
+    points, clustering = clustered
+    prominent = select_prominent_phases(points, clustering, 3)
+    assert (np.diff(prominent.weights) <= 1e-12).all()
+    assert prominent.weights[0] == pytest.approx(0.6)
+
+
+def test_coverage_sums_selected_weights(clustered):
+    points, clustering = clustered
+    p2 = select_prominent_phases(points, clustering, 2)
+    assert p2.coverage == pytest.approx(0.9)
+    p3 = select_prominent_phases(points, clustering, 3)
+    assert p3.coverage == pytest.approx(1.0)
+
+
+def test_partial_selection_has_partial_coverage(clustered):
+    points, clustering = clustered
+    p1 = select_prominent_phases(points, clustering, 1)
+    assert len(p1) == 1
+    assert p1.coverage == pytest.approx(0.6)
+
+
+def test_representatives_belong_to_their_cluster(clustered):
+    points, clustering = clustered
+    prominent = select_prominent_phases(points, clustering, 3)
+    for cluster, row in zip(prominent.cluster_ids, prominent.representative_rows):
+        assert clustering.labels[row] == cluster
+
+
+def test_representative_is_nearest_member(clustered):
+    points, clustering = clustered
+    prominent = select_prominent_phases(points, clustering, 1)
+    cluster = prominent.cluster_ids[0]
+    rep = prominent.representative_rows[0]
+    members = np.flatnonzero(clustering.labels == cluster)
+    d = np.linalg.norm(points[members] - clustering.centers[cluster], axis=1)
+    assert rep == members[np.argmin(d)]
+
+
+def test_n_clipped_to_nonempty_clusters(clustered):
+    points, clustering = clustered
+    prominent = select_prominent_phases(points, clustering, 50)
+    assert len(prominent) == 3
+
+
+def test_rejects_bad_n(clustered):
+    points, clustering = clustered
+    with pytest.raises(ValueError):
+        select_prominent_phases(points, clustering, 0)

@@ -1,0 +1,70 @@
+"""Tests for interval sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core import sample_interval_indices
+from repro.suites import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def long_bench():
+    return get_benchmark("BioPerf", "fasta")  # 69,931 intervals
+
+
+@pytest.fixture(scope="module")
+def short_bench():
+    return get_benchmark("BioPerf", "ce")  # 4 intervals
+
+
+def test_sample_count(long_bench):
+    picks = sample_interval_indices(long_bench, 100, seed=1)
+    assert len(picks) == 100
+
+
+def test_long_benchmark_sampled_without_replacement(long_bench):
+    picks = sample_interval_indices(long_bench, 500, seed=1)
+    assert len(np.unique(picks)) == 500
+
+
+def test_short_benchmark_sampled_with_replacement(short_bench):
+    picks = sample_interval_indices(short_bench, 100, seed=1)
+    assert len(picks) == 100
+    assert set(picks.tolist()) <= {0, 1, 2, 3}
+    # Every pick is a valid interval, and duplicates occur.
+    assert len(np.unique(picks)) <= 4
+
+
+def test_indices_in_range(long_bench):
+    picks = sample_interval_indices(long_bench, 1000, seed=2)
+    assert picks.min() >= 0
+    assert picks.max() < long_bench.n_intervals
+
+
+def test_sampling_deterministic_per_seed(long_bench):
+    a = sample_interval_indices(long_bench, 50, seed=3)
+    b = sample_interval_indices(long_bench, 50, seed=3)
+    assert (a == b).all()
+
+
+def test_sampling_differs_across_seeds(long_bench):
+    a = sample_interval_indices(long_bench, 50, seed=3)
+    b = sample_interval_indices(long_bench, 50, seed=4)
+    assert (a != b).any()
+
+
+def test_sampling_differs_across_benchmarks(long_bench):
+    other = get_benchmark("BioPerf", "grappa")
+    a = sample_interval_indices(long_bench, 50, seed=3)
+    b = sample_interval_indices(other, 50, seed=3)
+    assert (a != b).any()
+
+
+def test_output_is_sorted(long_bench):
+    picks = sample_interval_indices(long_bench, 200, seed=5)
+    assert (np.diff(picks) >= 0).all()
+
+
+def test_rejects_bad_count(long_bench):
+    with pytest.raises(ValueError):
+        sample_interval_indices(long_bench, 0, seed=1)

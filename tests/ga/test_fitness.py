@@ -1,0 +1,60 @@
+"""Tests for the distance-correlation fitness."""
+
+import numpy as np
+import pytest
+
+from repro.ga import DistanceCorrelationFitness
+
+
+@pytest.fixture
+def phases():
+    rng = np.random.default_rng(21)
+    # 30 phases over 10 features; the first 3 features carry the signal,
+    # the rest echo them with noise (so subsets can do well).
+    signal = rng.normal(size=(30, 3))
+    echo = signal @ rng.normal(size=(3, 7)) + 0.05 * rng.normal(size=(30, 7))
+    return np.hstack([signal, echo])
+
+
+def test_full_mask_is_perfect(phases):
+    fitness = DistanceCorrelationFitness(phases)
+    assert fitness(np.ones(10, dtype=bool)) == pytest.approx(1.0)
+
+
+def test_empty_mask_is_worst(phases):
+    fitness = DistanceCorrelationFitness(phases)
+    assert fitness(np.zeros(10, dtype=bool)) == -1.0
+
+
+def test_signal_subset_beats_noise_subset(phases):
+    fitness = DistanceCorrelationFitness(phases)
+    signal_mask = np.zeros(10, dtype=bool)
+    signal_mask[:3] = True
+    single = np.zeros(10, dtype=bool)
+    single[9] = True
+    assert fitness(signal_mask) > fitness(single)
+
+
+def test_signal_subset_scores_high(phases):
+    fitness = DistanceCorrelationFitness(phases)
+    mask = np.zeros(10, dtype=bool)
+    mask[:3] = True
+    assert fitness(mask) > 0.7
+
+
+def test_mask_length_checked(phases):
+    fitness = DistanceCorrelationFitness(phases)
+    with pytest.raises(ValueError):
+        fitness(np.ones(5, dtype=bool))
+
+
+def test_caching_returns_identical_values(phases):
+    fitness = DistanceCorrelationFitness(phases)
+    mask = np.zeros(10, dtype=bool)
+    mask[2:6] = True
+    assert fitness(mask) == fitness(mask.copy())
+
+
+def test_requires_three_phases():
+    with pytest.raises(ValueError):
+        DistanceCorrelationFitness(np.ones((2, 5)))

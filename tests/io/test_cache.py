@@ -1,0 +1,46 @@
+"""Tests for dataset caching."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.io import cached_dataset, dataset_cache_path
+from repro.suites import get_suite
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return AnalysisConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def benches():
+    return list(get_suite("BMW").benchmarks)[:2]
+
+
+def test_cache_miss_builds_and_writes(cfg, benches, tmp_path):
+    ds = cached_dataset(cfg, tmp_path, benchmarks=benches, tag="t1")
+    assert dataset_cache_path(tmp_path, cfg, tag="t1").exists()
+    assert len(ds) == 2 * cfg.intervals_per_benchmark
+
+
+def test_cache_hit_loads_identical(cfg, benches, tmp_path):
+    a = cached_dataset(cfg, tmp_path, benchmarks=benches, tag="t2")
+    b = cached_dataset(cfg, tmp_path, benchmarks=benches, tag="t2")
+    assert np.array_equal(a.features, b.features)
+
+
+def test_cache_key_varies_with_featurization_params(cfg):
+    other = cfg.replace(interval_instructions=cfg.interval_instructions * 2)
+    assert cfg.cache_key() != other.cache_key()
+
+
+def test_cache_key_ignores_analysis_params(cfg):
+    other = cfg.replace(n_clusters=cfg.n_clusters + 5)
+    assert cfg.cache_key() == other.cache_key()
+
+
+def test_tags_separate_files(cfg, tmp_path):
+    p1 = dataset_cache_path(tmp_path, cfg, tag="a")
+    p2 = dataset_cache_path(tmp_path, cfg, tag="b")
+    assert p1 != p2

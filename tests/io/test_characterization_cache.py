@@ -1,0 +1,70 @@
+"""Tests for full-characterization caching."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.io import cached_characterization, characterization_cache_path
+from repro.suites import get_suite
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return AnalysisConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def benches():
+    return list(get_suite("MediaBenchII").benchmarks)[:3]
+
+
+def test_miss_builds_both_cache_layers(cfg, benches, tmp_path):
+    result = cached_characterization(
+        cfg, tmp_path, benchmarks=benches, tag="c1", select_key=False
+    )
+    assert characterization_cache_path(tmp_path, cfg, tag="c1").exists()
+    # The dataset layer is cached too, so re-clustering with different
+    # analysis params would skip featurization.
+    assert any(p.name.startswith("dataset_c1") for p in tmp_path.iterdir())
+    assert len(result.dataset) == 3 * cfg.intervals_per_benchmark
+
+
+def test_hit_returns_identical_clustering(cfg, benches, tmp_path):
+    a = cached_characterization(
+        cfg, tmp_path, benchmarks=benches, tag="c2", select_key=False
+    )
+    b = cached_characterization(
+        cfg, tmp_path, benchmarks=benches, tag="c2", select_key=False
+    )
+    assert np.array_equal(a.clustering.labels, b.clustering.labels)
+    assert np.allclose(a.space, b.space)
+
+
+def test_full_key_differs_from_cache_key(cfg):
+    # Changing an analysis-only parameter changes full_key (so the
+    # characterization cache misses) but not cache_key (so the dataset
+    # cache hits).
+    other = cfg.replace(n_clusters=cfg.n_clusters + 1)
+    assert cfg.full_key() != other.full_key()
+    assert cfg.cache_key() == other.cache_key()
+
+
+def test_analysis_param_change_reuses_dataset(cfg, benches, tmp_path):
+    cached_characterization(
+        cfg, tmp_path, benchmarks=benches, tag="c3", select_key=False
+    )
+    datasets_before = sorted(
+        p.name for p in tmp_path.iterdir() if p.name.startswith("dataset_c3")
+    )
+    other = cfg.replace(n_clusters=cfg.n_clusters + 1)
+    cached_characterization(
+        other, tmp_path, benchmarks=benches, tag="c3", select_key=False
+    )
+    datasets_after = sorted(
+        p.name for p in tmp_path.iterdir() if p.name.startswith("dataset_c3")
+    )
+    assert datasets_before == datasets_after  # featurized exactly once
+    characterizations = [
+        p.name for p in tmp_path.iterdir() if p.name.startswith("characterization_c3")
+    ]
+    assert len(characterizations) == 2  # one per analysis config

@@ -1,0 +1,46 @@
+"""Tests for text-table formatting."""
+
+import pytest
+
+from repro.io import format_table
+
+
+def test_basic_layout():
+    out = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+
+
+def test_numeric_columns_right_aligned():
+    out = format_table(["n", "v"], [["a", 5], ["b", 123]])
+    lines = out.splitlines()
+    assert lines[2].endswith("  5")
+    assert lines[3].endswith("123")
+
+
+def test_text_columns_left_aligned():
+    out = format_table(["n"], [["a"], ["long"]])
+    lines = out.splitlines()
+    assert lines[2] == "a   "
+
+
+def test_percent_strings_count_as_numeric():
+    out = format_table(["p"], [["5%"], ["100%"]])
+    assert out.splitlines()[2].endswith("  5%")
+
+
+def test_rejects_ragged_rows():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [["only-one"]])
+
+
+def test_empty_rows_ok():
+    out = format_table(["a", "b"], [])
+    assert len(out.splitlines()) == 2
+
+
+def test_explicit_alignment_respected():
+    out = format_table(["a"], [["1"], ["22"]], align_right=[False])
+    assert out.splitlines()[2] == "1 "

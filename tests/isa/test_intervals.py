@@ -1,0 +1,46 @@
+"""Tests for interval splitting."""
+
+import pytest
+
+from repro.isa import Trace, interval_count, iter_interval_bounds, split_intervals
+
+
+def test_split_exact_multiple():
+    t = Trace.zeros(100)
+    parts = split_intervals(t, 25)
+    assert len(parts) == 4
+    assert all(len(p) == 25 for p in parts)
+
+
+def test_split_drops_partial_by_default():
+    t = Trace.zeros(105)
+    parts = split_intervals(t, 25)
+    assert len(parts) == 4
+
+
+def test_split_keeps_partial_when_asked():
+    t = Trace.zeros(105)
+    parts = split_intervals(t, 25, drop_partial=False)
+    assert len(parts) == 5
+    assert len(parts[-1]) == 5
+
+
+def test_split_rejects_nonpositive_size():
+    with pytest.raises(ValueError):
+        split_intervals(Trace.zeros(10), 0)
+
+
+def test_iter_interval_bounds_matches_split():
+    bounds = list(iter_interval_bounds(100, 30))
+    assert bounds == [(0, 30), (30, 60), (60, 90)]
+
+
+def test_interval_count():
+    assert interval_count(100, 30) == 3
+    assert interval_count(90, 30) == 3
+    assert interval_count(29, 30) == 0
+
+
+def test_interval_count_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        interval_count(100, 0)

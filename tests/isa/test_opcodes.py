@@ -1,0 +1,51 @@
+"""Tests for the opcode-class vocabulary."""
+
+import numpy as np
+import pytest
+
+from repro.isa import (
+    CONTROL_OPS,
+    FP_ARITH_OPS,
+    INT_ARITH_OPS,
+    MEMORY_OPS,
+    N_OP_CLASSES,
+    OpClass,
+    is_control_op,
+    is_memory_op,
+    op_class_names,
+)
+
+
+def test_op_classes_are_dense_small_ints():
+    values = sorted(int(op) for op in OpClass)
+    assert values == list(range(N_OP_CLASSES))
+
+
+def test_op_class_names_order_matches_values():
+    names = op_class_names()
+    assert names[int(OpClass.LOAD)] == "LOAD"
+    assert names[int(OpClass.OTHER)] == "OTHER"
+    assert len(names) == N_OP_CLASSES
+
+
+def test_category_tuples_are_disjoint():
+    groups = [MEMORY_OPS, CONTROL_OPS, INT_ARITH_OPS, FP_ARITH_OPS]
+    seen = set()
+    for group in groups:
+        for op in group:
+            assert op not in seen
+            seen.add(op)
+
+
+def test_is_memory_op_vectorized():
+    ops = np.array([int(OpClass.LOAD), int(OpClass.STORE), int(OpClass.IADD)], dtype=np.uint8)
+    assert is_memory_op(ops).tolist() == [True, True, False]
+
+
+def test_is_control_op_vectorized():
+    ops = np.array([int(OpClass.BRANCH), int(OpClass.CALL), int(OpClass.FMUL)], dtype=np.uint8)
+    assert is_control_op(ops).tolist() == [True, True, False]
+
+
+def test_op_classes_fit_in_uint8():
+    assert max(int(op) for op in OpClass) < 256

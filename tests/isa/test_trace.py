@@ -1,0 +1,114 @@
+"""Tests for the struct-of-arrays Trace."""
+
+import numpy as np
+import pytest
+
+from repro.isa import NO_ADDR, NO_REG, OpClass, Trace, concat
+
+from ..conftest import make_trace
+
+
+def test_empty_trace_has_zero_length():
+    t = Trace.empty()
+    assert len(t) == 0
+    t.validate()
+
+
+def test_zeros_trace_validates():
+    t = Trace.zeros(10)
+    assert len(t) == 10
+    t.validate()
+
+
+def test_mismatched_field_lengths_rejected():
+    t = Trace.zeros(4)
+    with pytest.raises(ValueError, match="length"):
+        Trace(
+            op=t.op,
+            src1=t.src1[:2],
+            src2=t.src2,
+            dst=t.dst,
+            addr=t.addr,
+            pc=t.pc,
+            taken=t.taken,
+        )
+
+
+def test_slice_is_view_not_copy():
+    t = Trace.zeros(10)
+    s = t.slice(2, 5)
+    assert len(s) == 3
+    s.op[0] = int(OpClass.FMUL)
+    assert t.op[2] == int(OpClass.FMUL)
+
+
+def test_validate_rejects_memory_op_without_address():
+    t = make_trace([(OpClass.LOAD, 1, NO_REG, 2, NO_ADDR, 0x100)])
+    with pytest.raises(ValueError, match="without an effective address"):
+        t.validate()
+
+
+def test_validate_rejects_address_on_non_memory_op():
+    t = make_trace([(OpClass.IADD, 1, 2, 3, 0x1000, 0x100)])
+    with pytest.raises(ValueError, match="with an effective address"):
+        t.validate()
+
+
+def test_validate_rejects_taken_non_branch():
+    t = make_trace([(OpClass.IADD, 1, 2, 3, NO_ADDR, 0x100, True)])
+    with pytest.raises(ValueError, match="non-branch"):
+        t.validate()
+
+
+def test_validate_rejects_out_of_range_register():
+    t = make_trace([(OpClass.IADD, 200, NO_REG, 3, NO_ADDR, 0)])
+    with pytest.raises(ValueError, match="register id"):
+        t.validate()
+
+
+def test_validate_rejects_out_of_range_opcode():
+    t = Trace.zeros(1)
+    t.op[0] = 250
+    with pytest.raises(ValueError, match="opcode"):
+        t.validate()
+
+
+def test_validate_rejects_negative_pc():
+    t = Trace.zeros(1)
+    t.pc[0] = -5
+    with pytest.raises(ValueError, match="negative pc"):
+        t.validate()
+
+
+def test_validate_accepts_taken_branch_and_call():
+    t = make_trace(
+        [
+            (OpClass.BRANCH, 1, NO_REG, NO_REG, NO_ADDR, 0x10, True),
+            (OpClass.CALL, NO_REG, NO_REG, NO_REG, NO_ADDR, 0x14, True),
+        ]
+    )
+    t.validate()
+
+
+def test_concat_preserves_order_and_length():
+    a = make_trace([(OpClass.IADD, 0, 1, 2)])
+    b = make_trace([(OpClass.FMUL, 3, 4, 5), (OpClass.LOGIC, 1, 1, 6)])
+    c = concat([a, b])
+    assert len(c) == 3
+    assert c.op.tolist() == [int(OpClass.IADD), int(OpClass.FMUL), int(OpClass.LOGIC)]
+    assert c.dst.tolist() == [2, 5, 6]
+
+
+def test_concat_of_empty_list_is_empty():
+    assert len(concat([])) == 0
+
+
+def test_concat_skips_empty_traces():
+    a = make_trace([(OpClass.IADD, 0, 1, 2)])
+    c = concat([Trace.empty(), a, Trace.empty()])
+    assert len(c) == 1
+
+
+def test_concat_single_trace_returns_it():
+    a = make_trace([(OpClass.IADD, 0, 1, 2)])
+    assert concat([a]) is a

@@ -1,0 +1,67 @@
+"""Tests for the k-means BIC score."""
+
+import numpy as np
+import pytest
+
+from repro.stats import kmeans_bic
+
+
+def blob_data(separation):
+    rng = np.random.default_rng(11)
+    a = rng.normal(size=(50, 2))
+    b = rng.normal(size=(50, 2)) + separation
+    return np.vstack([a, b])
+
+
+def two_cluster_fit(points):
+    labels = np.array([0] * 50 + [1] * 50)
+    centers = np.vstack([points[:50].mean(axis=0), points[50:].mean(axis=0)])
+    return labels, centers
+
+
+def one_cluster_fit(points):
+    labels = np.zeros(len(points), dtype=np.int64)
+    centers = points.mean(axis=0)[None, :]
+    return labels, centers
+
+
+def test_bic_prefers_two_clusters_when_separated():
+    points = blob_data(separation=12.0)
+    l2, c2 = two_cluster_fit(points)
+    l1, c1 = one_cluster_fit(points)
+    assert kmeans_bic(points, l2, c2) > kmeans_bic(points, l1, c1)
+
+
+def test_bic_prefers_one_cluster_when_merged():
+    points = blob_data(separation=0.0)
+    l2, c2 = two_cluster_fit(points)
+    l1, c1 = one_cluster_fit(points)
+    assert kmeans_bic(points, l1, c1) > kmeans_bic(points, l2, c2)
+
+
+def test_bic_degenerate_when_fewer_points_than_clusters():
+    points = np.ones((2, 2))
+    labels = np.array([0, 1])
+    centers = points.copy()
+    extra = np.vstack([centers, [5.0, 5.0]])
+    assert kmeans_bic(points, labels, extra) == float("-inf")
+
+
+def test_bic_finite_for_perfect_fit():
+    points = np.array([[0.0, 0.0], [0.0, 0.0], [5.0, 5.0]])
+    labels = np.array([0, 0, 1])
+    centers = np.array([[0.0, 0.0], [5.0, 5.0]])
+    score = kmeans_bic(points, labels, centers)
+    assert np.isfinite(score)
+
+
+def test_bic_penalizes_parameter_count():
+    # Same perfect assignment, but more (empty) clusters -> lower BIC.
+    rng = np.random.default_rng(3)
+    points = rng.normal(size=(60, 2))
+    labels = np.zeros(60, dtype=np.int64)
+    center = points.mean(axis=0)
+    small = kmeans_bic(points, labels, center[None, :])
+    padded = np.vstack([center, [100.0, 100.0], [200.0, 200.0]])
+    large = kmeans_bic(points, labels, padded)
+    assert small > large

@@ -1,0 +1,50 @@
+"""Tests for Pearson correlation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats import pearson
+
+
+def test_perfect_positive():
+    x = np.arange(10.0)
+    assert pearson(x, 2 * x + 3) == pytest.approx(1.0)
+
+
+def test_perfect_negative():
+    x = np.arange(10.0)
+    assert pearson(x, -x) == pytest.approx(-1.0)
+
+
+def test_constant_vector_returns_zero():
+    assert pearson(np.ones(5), np.arange(5.0)) == 0.0
+
+
+def test_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        pearson(np.ones(4), np.ones(5))
+
+
+def test_rejects_scalarish_input():
+    with pytest.raises(ValueError):
+        pearson(np.ones(1), np.ones(1))
+
+
+def test_known_value():
+    x = np.array([1.0, 2.0, 3.0, 4.0])
+    y = np.array([1.0, 3.0, 2.0, 4.0])
+    assert pearson(x, y) == pytest.approx(0.8)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    arrays(np.float64, 20, elements=st.floats(-1e4, 1e4, allow_nan=False)),
+    arrays(np.float64, 20, elements=st.floats(-1e4, 1e4, allow_nan=False)),
+)
+def test_property_bounded_and_symmetric(x, y):
+    r = pearson(x, y)
+    assert -1.0 - 1e-9 <= r <= 1.0 + 1e-9
+    assert pearson(y, x) == pytest.approx(r, abs=1e-12)

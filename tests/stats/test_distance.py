@@ -1,0 +1,70 @@
+"""Tests for distance computations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats import condensed_distances, distances_to, pairwise_distances
+
+
+def test_pairwise_known_answer():
+    pts = np.array([[0.0, 0.0], [3.0, 4.0]])
+    d = pairwise_distances(pts)
+    assert d[0, 1] == pytest.approx(5.0)
+    assert d[1, 0] == pytest.approx(5.0)
+    assert d[0, 0] == 0.0
+
+
+def test_condensed_length():
+    pts = np.random.default_rng(1).normal(size=(6, 3))
+    c = condensed_distances(pts)
+    assert len(c) == 15  # 6 choose 2
+
+
+def test_distances_to_shape_and_values():
+    pts = np.array([[0.0, 0.0], [1.0, 0.0]])
+    centers = np.array([[0.0, 1.0]])
+    d = distances_to(pts, centers)
+    assert d.shape == (2, 1)
+    assert d[0, 0] == pytest.approx(1.0)
+    assert d[1, 0] == pytest.approx(np.sqrt(2))
+
+
+def test_distances_to_dim_mismatch():
+    with pytest.raises(ValueError):
+        distances_to(np.ones((3, 2)), np.ones((2, 3)))
+
+
+def test_rejects_non_2d():
+    with pytest.raises(ValueError):
+        pairwise_distances(np.arange(4.0))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (7, 3), elements=st.floats(-1e3, 1e3, allow_nan=False))
+)
+def test_property_metric_axioms(pts):
+    d = pairwise_distances(pts)
+    # Symmetry, non-negativity, zero diagonal.
+    assert np.allclose(d, d.T)
+    assert (d >= 0).all()
+    assert np.allclose(np.diag(d), 0.0)
+    # Triangle inequality on a few triples.
+    n = len(pts)
+    for i, j, k in [(0, 1, 2), (3, 4, 5), (0, 3, 6)]:
+        assert d[i, j] <= d[i, k] + d[k, j] + 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(np.float64, (5, 2), elements=st.floats(-1e3, 1e3, allow_nan=False))
+)
+def test_property_matches_naive_computation(pts):
+    d = pairwise_distances(pts)
+    for i in range(5):
+        for j in range(5):
+            naive = np.sqrt(((pts[i] - pts[j]) ** 2).sum())
+            assert d[i, j] == pytest.approx(naive, abs=1e-6)

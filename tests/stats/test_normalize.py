@@ -1,0 +1,68 @@
+"""Tests for column normalization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats import Normalizer, normalize
+
+
+def test_normalize_zero_mean_unit_std():
+    rng = np.random.default_rng(1)
+    x = rng.normal(5.0, 3.0, size=(200, 4))
+    z = normalize(x)
+    assert np.allclose(z.mean(axis=0), 0.0, atol=1e-12)
+    assert np.allclose(z.std(axis=0), 1.0, atol=1e-12)
+
+
+def test_constant_column_maps_to_zero():
+    x = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+    z = normalize(x)
+    assert np.allclose(z[:, 0], 0.0)
+
+
+def test_fit_transform_separation():
+    rng = np.random.default_rng(2)
+    train = rng.normal(size=(50, 3))
+    test = rng.normal(size=(20, 3))
+    norm = Normalizer.fit(train)
+    z = norm.transform(test)
+    assert z.shape == (20, 3)
+    # transform must use the *training* statistics
+    assert not np.allclose(z.mean(axis=0), 0.0, atol=1e-6)
+
+
+def test_rejects_non_2d():
+    with pytest.raises(ValueError):
+        normalize(np.arange(10.0))
+
+
+def test_rejects_zero_rows():
+    with pytest.raises(ValueError):
+        Normalizer.fit(np.empty((0, 3)))
+
+
+def test_transform_shape_mismatch():
+    norm = Normalizer.fit(np.ones((5, 3)))
+    with pytest.raises(ValueError):
+        norm.transform(np.ones((5, 4)))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (10, 3),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+)
+def test_property_normalized_columns_bounded_moments(x):
+    z = normalize(x)
+    assert np.isfinite(z).all()
+    # Each column is either exactly zero (constant input) or z-scored.
+    for j in range(z.shape[1]):
+        col = z[:, j]
+        assert abs(col.mean()) < 1e-8
+        assert col.std() == pytest.approx(1.0, abs=1e-8) or np.allclose(col, 0.0)

@@ -1,0 +1,105 @@
+"""Tests for PCA and the rescaled PCA space."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.stats import fit_pca, rescaled_pca_space
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(3)
+    # Three latent dimensions embedded in eight columns.
+    latent = rng.normal(size=(300, 3))
+    mix = rng.normal(size=(3, 8))
+    return latent @ mix + 0.01 * rng.normal(size=(300, 8))
+
+
+def test_components_ordered_by_variance(data):
+    model = fit_pca(data)
+    assert (np.diff(model.stds) <= 1e-9).all()
+
+
+def test_scores_are_uncorrelated(data):
+    model = fit_pca(data)
+    scores = model.transform(data)
+    cov = np.cov(scores.T)
+    off_diag = cov - np.diag(np.diag(cov))
+    assert np.abs(off_diag).max() < 1e-8
+
+
+def test_explained_ratio_sums_to_one(data):
+    model = fit_pca(data)
+    assert model.explained_ratio.sum() == pytest.approx(1.0)
+
+
+def test_kaiser_retention_finds_latent_dimension(data):
+    model = fit_pca(data).retained(1.0)
+    # Three strong latent dimensions -> three retained components.
+    assert model.n_components == 3
+
+
+def test_retained_keeps_at_least_one():
+    x = np.random.default_rng(4).normal(size=(50, 3))
+    model = fit_pca(x).retained(min_std=1e9)
+    assert model.n_components == 1
+
+
+def test_loadings_are_orthonormal(data):
+    model = fit_pca(data)
+    gram = model.components.T @ model.components
+    assert np.allclose(gram, np.eye(gram.shape[0]), atol=1e-8)
+
+
+def test_rejects_single_observation():
+    with pytest.raises(ValueError):
+        fit_pca(np.ones((1, 3)))
+
+
+def test_rejects_non_2d():
+    with pytest.raises(ValueError):
+        fit_pca(np.arange(10.0))
+
+
+def test_rescaled_space_unit_variance(data):
+    space = rescaled_pca_space(data)
+    assert np.allclose(space.mean(axis=0), 0.0, atol=1e-9)
+    assert np.allclose(space.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_rescaled_space_handles_constant_columns():
+    rng = np.random.default_rng(5)
+    x = np.column_stack([rng.normal(size=100), np.full(100, 3.0), rng.normal(size=100)])
+    space = rescaled_pca_space(x)
+    assert np.isfinite(space).all()
+
+
+def test_pca_is_rotation_invariant_in_distances():
+    # Distances in the full PCA space equal distances in the normalized
+    # input space (all components retained, no rescale).
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(40, 5))
+    model = fit_pca(x)
+    z = model.normalizer.transform(x)
+    scores = model.transform(x)
+    d_in = np.linalg.norm(z[0] - z[1])
+    d_out = np.linalg.norm(scores[0] - scores[1])
+    assert d_in == pytest.approx(d_out)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    arrays(
+        np.float64,
+        (12, 4),
+        elements=st.floats(-100, 100, allow_nan=False),
+    )
+)
+def test_property_rescaled_space_always_finite(x):
+    space = rescaled_pca_space(x)
+    assert np.isfinite(space).all()
+    assert space.shape[0] == 12
+    assert 1 <= space.shape[1] <= 4

@@ -1,0 +1,78 @@
+"""Tests for the suite registry."""
+
+import pytest
+
+from repro.suites import (
+    DOMAIN_SPECIFIC_SUITES,
+    GENERAL_PURPOSE_SUITES,
+    SUITE_ORDER,
+    all_benchmarks,
+    all_suites,
+    get_benchmark,
+    get_suite,
+)
+
+
+def test_seven_suites_in_order():
+    suites = all_suites()
+    assert [s.name for s in suites] == list(SUITE_ORDER)
+
+
+def test_77_benchmarks_total():
+    assert len(all_benchmarks()) == 77
+
+
+def test_suite_sizes_match_paper():
+    sizes = {s.name: len(s) for s in all_suites()}
+    assert sizes["BioPerf"] == 10
+    assert sizes["BMW"] == 5
+    assert sizes["SPECint2000"] == 12
+    assert sizes["SPECfp2000"] == 14
+    assert sizes["SPECint2006"] == 12
+    assert sizes["SPECfp2006"] == 17
+    assert sizes["MediaBenchII"] == 7
+
+
+def test_suite_partition_covers_all():
+    assert set(GENERAL_PURPOSE_SUITES) | set(DOMAIN_SPECIFIC_SUITES) == set(
+        SUITE_ORDER
+    ) - {"MediaBenchII"} | {"MediaBenchII"}
+    assert not set(GENERAL_PURPOSE_SUITES) & set(DOMAIN_SPECIFIC_SUITES)
+
+
+def test_benchmark_keys_unique():
+    keys = [b.key for b in all_benchmarks()]
+    assert len(set(keys)) == 77
+
+
+def test_get_benchmark_lookup():
+    b = get_benchmark("SPECint2006", "astar")
+    assert b.name == "astar"
+    assert b.suite == "SPECint2006"
+
+
+def test_unknown_suite_raises():
+    with pytest.raises(KeyError):
+        get_suite("SPECint2099")
+
+
+def test_unknown_benchmark_raises():
+    with pytest.raises(KeyError):
+        get_benchmark("BMW", "retina")
+
+
+def test_seeds_are_distinct():
+    seeds = [b.seed for b in all_benchmarks()]
+    assert len(set(seeds)) == 77
+
+
+def test_program_is_cached():
+    b = get_benchmark("BMW", "face")
+    assert b.program is b.program
+
+
+def test_same_name_different_suite_distinct():
+    a = get_benchmark("SPECint2000", "bzip2")
+    b = get_benchmark("SPECint2006", "bzip2")
+    assert a.seed != b.seed
+    assert a.key != b.key

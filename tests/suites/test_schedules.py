@@ -1,0 +1,57 @@
+"""Structural tests over all 77 benchmark schedules."""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.suites import all_benchmarks
+
+CFG = AnalysisConfig.tiny()
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.key)
+def test_schedule_fractions_normalized(bench):
+    schedule = bench.schedule_factory(bench.seed)
+    total = sum(p.fraction for p in schedule.phases)
+    assert total == pytest.approx(1.0)
+    assert schedule.repeat >= 1
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.key)
+def test_schedule_factory_is_stable(bench):
+    a = bench.schedule_factory(bench.seed)
+    b = bench.schedule_factory(bench.seed)
+    assert len(a) == len(b)
+    for pa, pb in zip(a.phases, b.phases):
+        assert pa.fraction == pytest.approx(pb.fraction)
+        # Same kernel class and name (kernels are rebuilt but from the
+        # same deterministic seeds).
+        assert type(pa.kernel) is type(pb.kernel)
+        assert pa.kernel.name == pb.kernel.name
+
+
+@pytest.mark.parametrize("bench", all_benchmarks(), ids=lambda b: b.key)
+def test_first_and_last_intervals_generate(bench):
+    for index in (0, bench.n_intervals - 1):
+        trace = bench.program.interval_trace(index, 256)
+        trace.validate()
+        assert len(trace) == 256
+
+
+def test_every_benchmark_has_some_memory_and_branches():
+    # Real programs always touch memory and branch; a model that does
+    # neither would distort the mix statistics for the whole suite.
+    from repro.isa import OpClass
+
+    for bench in all_benchmarks():
+        trace = bench.program.interval_trace(0, 2000)
+        ops = trace.op
+        assert (ops == OpClass.LOAD).any() or (ops == OpClass.STORE).any(), bench.key
+        assert (ops == OpClass.BRANCH).any(), bench.key
+
+
+def test_interval_counts_are_positive_and_varied():
+    counts = [b.n_intervals for b in all_benchmarks()]
+    assert min(counts) >= 1
+    # Table 3's defining property: lengths span orders of magnitude.
+    assert max(counts) / max(1, min(counts)) > 1000

@@ -1,0 +1,74 @@
+"""Tests for BlendKernel composition."""
+
+import numpy as np
+import pytest
+
+from repro.isa import OpClass
+from repro.synth import BlendKernel, generator, matrix_kernel, pointer_chase_kernel
+
+
+@pytest.fixture
+def parts():
+    return [
+        (matrix_kernel(seed=1), 1.0),
+        (pointer_chase_kernel(seed=2), 1.0),
+    ]
+
+
+def test_blend_generates_exact_count(parts):
+    b = BlendKernel("b", parts, chunk=128)
+    t = b.generate(1000, generator("blend", 1))
+    assert len(t) == 1000
+    t.validate()
+
+
+def test_blend_contains_both_behaviours(parts):
+    b = BlendKernel("b", parts, chunk=128)
+    t = b.generate(4000, generator("blend", 2))
+    fp = np.isin(t.op, (int(OpClass.FADD), int(OpClass.FMUL)))
+    assert fp.any() and not fp.all()
+
+
+def test_blend_weights_are_respected():
+    heavy = BlendKernel(
+        "heavy",
+        [(matrix_kernel(seed=1), 9.0), (pointer_chase_kernel(seed=2), 1.0)],
+        chunk=64,
+    )
+    t = heavy.generate(8000, generator("blend", 3))
+    fp_frac = np.isin(t.op, (int(OpClass.FADD), int(OpClass.FMUL))).mean()
+    light = BlendKernel(
+        "light",
+        [(matrix_kernel(seed=1), 1.0), (pointer_chase_kernel(seed=2), 9.0)],
+        chunk=64,
+    )
+    t2 = light.generate(8000, generator("blend", 3))
+    fp_frac2 = np.isin(t2.op, (int(OpClass.FADD), int(OpClass.FMUL))).mean()
+    assert fp_frac > fp_frac2
+
+
+def test_blend_rejects_empty_parts():
+    with pytest.raises(ValueError):
+        BlendKernel("b", [])
+
+
+def test_blend_rejects_nonpositive_weights():
+    with pytest.raises(ValueError):
+        BlendKernel("b", [(matrix_kernel(seed=1), 0.0)])
+
+
+def test_blend_rejects_bad_chunk(parts):
+    with pytest.raises(ValueError):
+        BlendKernel("b", parts, chunk=0)
+
+
+def test_blend_zero_length(parts):
+    b = BlendKernel("b", parts)
+    assert len(b.generate(0, generator("blend"))) == 0
+
+
+def test_blend_deterministic(parts):
+    b = BlendKernel("b", parts, chunk=100)
+    t1 = b.generate(1000, generator("det", 1))
+    t2 = b.generate(1000, generator("det", 1))
+    assert (t1.op == t2.op).all() and (t1.addr == t2.addr).all()

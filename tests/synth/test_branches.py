@@ -1,0 +1,97 @@
+"""Tests for branch-outcome models."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    BiasedRandomBranch,
+    LoopBranch,
+    MarkovBranch,
+    PatternBranch,
+    generator,
+)
+
+
+@pytest.fixture
+def rng():
+    return generator("branches-test")
+
+
+def test_loop_branch_taken_rate(rng):
+    b = LoopBranch(trip=8)
+    out = b.outcomes(8000, rng)
+    # taken (trip-1)/trip of the time
+    assert abs(out.mean() - 7 / 8) < 0.01
+
+
+def test_loop_branch_exact_period(rng):
+    b = LoopBranch(trip=4)
+    out = b.outcomes(16, rng)
+    # Exactly one not-taken per 4 outcomes.
+    assert (~out).sum() == 4
+
+
+def test_loop_branch_trip_one_never_taken(rng):
+    b = LoopBranch(trip=1)
+    out = b.outcomes(10, rng)
+    assert not out.any()
+
+
+def test_loop_branch_rejects_bad_trip():
+    with pytest.raises(ValueError):
+        LoopBranch(trip=0)
+
+
+def test_biased_random_rate(rng):
+    b = BiasedRandomBranch(p=0.3)
+    out = b.outcomes(20000, rng)
+    assert abs(out.mean() - 0.3) < 0.02
+
+
+def test_biased_random_rejects_bad_p():
+    with pytest.raises(ValueError):
+        BiasedRandomBranch(p=1.5)
+
+
+def test_pattern_branch_is_periodic(rng):
+    pattern = (True, False, True, True)
+    b = PatternBranch(pattern=pattern)
+    out = b.outcomes(40, rng)
+    # Any rotation of the pattern tiles the output.
+    as_int = out.astype(int)
+    for k in range(4, 40):
+        assert as_int[k] == as_int[k - 4]
+
+
+def test_pattern_branch_rejects_empty():
+    with pytest.raises(ValueError):
+        PatternBranch(pattern=())
+
+
+def test_markov_branch_transition_rate(rng):
+    b = MarkovBranch(p_switch=0.2)
+    out = b.outcomes(20000, rng)
+    transitions = np.count_nonzero(out[1:] != out[:-1]) / (len(out) - 1)
+    assert abs(transitions - 0.2) < 0.02
+
+
+def test_markov_branch_zero_switch_is_constant(rng):
+    b = MarkovBranch(p_switch=0.0)
+    out = b.outcomes(100, rng)
+    assert len(np.unique(out)) == 1
+
+
+def test_markov_branch_rejects_bad_p():
+    with pytest.raises(ValueError):
+        MarkovBranch(p_switch=-0.1)
+
+
+def test_models_reject_negative_count(rng):
+    for model in (LoopBranch(), BiasedRandomBranch(), PatternBranch(), MarkovBranch()):
+        with pytest.raises(ValueError):
+            model.outcomes(-1, rng)
+
+
+def test_models_zero_length(rng):
+    for model in (LoopBranch(), BiasedRandomBranch(), PatternBranch(), MarkovBranch()):
+        assert len(model.outcomes(0, rng)) == 0

@@ -1,0 +1,158 @@
+"""Tests for the kernel framework (Slot, BodyBuilder, Kernel)."""
+
+import numpy as np
+import pytest
+
+from repro.isa import NO_ADDR, NO_REG, OpClass
+from repro.synth import (
+    BiasedRandomBranch,
+    BodyBuilder,
+    Kernel,
+    LoopBranch,
+    SequentialStream,
+    Slot,
+    generator,
+)
+
+
+@pytest.fixture
+def rng():
+    return generator("kernel-base-test")
+
+
+def simple_kernel(rng, *, n_variants=1):
+    builder = BodyBuilder(rng)
+    stream = SequentialStream(base=1 << 20, stride=8)
+    builder.load(stream)
+    builder.add(OpClass.IADD)
+    builder.store(stream)
+    builder.branch(LoopBranch(trip=4))
+    return Kernel("simple", builder.slots, code_base=0x1000, n_variants=n_variants)
+
+
+def test_slot_requires_stream_for_memory_ops():
+    with pytest.raises(ValueError, match="address stream"):
+        Slot(op=OpClass.LOAD)
+
+
+def test_slot_rejects_stream_on_non_memory_op():
+    with pytest.raises(ValueError, match="must not have an address stream"):
+        Slot(op=OpClass.IADD, stream=SequentialStream(base=0))
+
+
+def test_slot_requires_branch_model_for_branches():
+    with pytest.raises(ValueError, match="branch model"):
+        Slot(op=OpClass.BRANCH)
+
+
+def test_slot_rejects_branch_model_on_alu_op():
+    with pytest.raises(ValueError, match="must not have a branch model"):
+        Slot(op=OpClass.IADD, branch=LoopBranch())
+
+
+def test_builder_chain_frac_bounds(rng):
+    with pytest.raises(ValueError):
+        BodyBuilder(rng, chain_frac=1.5)
+
+
+def test_builder_n_src_bounds(rng):
+    builder = BodyBuilder(rng)
+    with pytest.raises(ValueError):
+        builder.add(OpClass.IADD, n_src=3)
+
+
+def test_builder_store_has_no_destination(rng):
+    builder = BodyBuilder(rng)
+    slot = builder.store(SequentialStream(base=0))
+    assert slot.dst == NO_REG
+
+
+def test_builder_load_writes_destination(rng):
+    builder = BodyBuilder(rng)
+    slot = builder.load(SequentialStream(base=0))
+    assert slot.dst != NO_REG
+
+
+def test_kernel_rejects_empty_body():
+    with pytest.raises(ValueError):
+        Kernel("empty", [])
+
+
+def test_kernel_generates_exact_count(rng):
+    k = simple_kernel(rng)
+    for n in (1, 3, 4, 5, 100, 101):
+        t = k.generate(n, generator("g", n))
+        assert len(t) == n
+        t.validate()
+
+
+def test_kernel_zero_instructions(rng):
+    k = simple_kernel(rng)
+    assert len(k.generate(0, generator("g"))) == 0
+
+
+def test_kernel_rejects_negative_count(rng):
+    k = simple_kernel(rng)
+    with pytest.raises(ValueError):
+        k.generate(-1, generator("g"))
+
+
+def test_kernel_tiles_body_ops(rng):
+    k = simple_kernel(rng)
+    t = k.generate(8, generator("g"))
+    expected = [OpClass.LOAD, OpClass.IADD, OpClass.STORE, OpClass.BRANCH] * 2
+    assert t.op.tolist() == [int(o) for o in expected]
+
+
+def test_kernel_memory_slots_have_addresses(rng):
+    k = simple_kernel(rng)
+    t = k.generate(40, generator("g"))
+    mem = (t.op == OpClass.LOAD) | (t.op == OpClass.STORE)
+    assert (t.addr[mem] != NO_ADDR).all()
+    assert (t.addr[~mem] == NO_ADDR).all()
+
+
+def test_kernel_single_variant_pcs_repeat(rng):
+    k = simple_kernel(rng)
+    t = k.generate(8, generator("g"))
+    assert t.pc[0] == t.pc[4]
+    assert len(np.unique(t.pc)) == 4
+
+
+def test_kernel_variants_expand_instruction_footprint(rng):
+    k1 = simple_kernel(generator("a"), n_variants=1)
+    k8 = simple_kernel(generator("a"), n_variants=8)
+    t1 = k1.generate(400, generator("g"))
+    t8 = k8.generate(400, generator("g"))
+    assert len(np.unique(t8.pc)) > len(np.unique(t1.pc))
+
+
+def test_kernel_generation_is_deterministic(rng):
+    k = simple_kernel(rng)
+    a = k.generate(50, generator("same", 1))
+    b = k.generate(50, generator("same", 1))
+    assert (a.addr == b.addr).all()
+    assert (a.taken == b.taken).all()
+
+
+def test_kernel_call_slots_always_taken(rng):
+    builder = BodyBuilder(rng)
+    builder.call()
+    builder.add(OpClass.IADD)
+    k = Kernel("callish", builder.slots)
+    t = k.generate(10, generator("g"))
+    calls = t.op == OpClass.CALL
+    assert t.taken[calls].all()
+
+
+def test_shared_stream_interleaves_in_program_order(rng):
+    # Two loads sharing one sequential stream must see consecutive
+    # addresses in program order.
+    builder = BodyBuilder(rng)
+    stream = SequentialStream(base=0, stride=8, region_bytes=1 << 20)
+    builder.load(stream)
+    builder.load(stream)
+    k = Kernel("shared", builder.slots)
+    t = k.generate(6, generator("g"))
+    diffs = np.diff(t.addr)
+    assert np.count_nonzero(diffs != 8) <= 1  # allow one wrap

@@ -1,0 +1,82 @@
+"""Tests for phase schedules."""
+
+import pytest
+
+from repro.synth import Phase, PhaseSchedule, streaming_kernel
+
+
+@pytest.fixture
+def kernels():
+    return [streaming_kernel(seed=i) for i in range(3)]
+
+
+def test_schedule_normalizes_fractions(kernels):
+    s = PhaseSchedule([Phase(kernels[0], 2.0), Phase(kernels[1], 6.0)])
+    fracs = [p.fraction for p in s.phases]
+    assert abs(sum(fracs) - 1.0) < 1e-12
+    assert abs(fracs[0] - 0.25) < 1e-12
+
+
+def test_schedule_rejects_empty():
+    with pytest.raises(ValueError):
+        PhaseSchedule([])
+
+
+def test_phase_rejects_nonpositive_fraction(kernels):
+    with pytest.raises(ValueError):
+        Phase(kernels[0], 0.0)
+
+
+def test_segments_partition_total(kernels):
+    s = PhaseSchedule([Phase(kernels[0], 0.3), Phase(kernels[1], 0.7)])
+    segs = s.segments(1000)
+    assert segs[0][0] == 0
+    assert segs[-1][1] == 1000
+    for (a, b, _), (c, d, _) in zip(segs, segs[1:]):
+        assert b == c
+    assert segs[0][1] == 300
+
+
+def test_repeat_interleaves_phases(kernels):
+    s = PhaseSchedule([Phase(kernels[0], 0.5), Phase(kernels[1], 0.5)], repeat=2)
+    segs = s.segments(1000)
+    assert len(segs) == 4
+    order = [seg[2] for seg in segs]
+    assert order == [kernels[0], kernels[1], kernels[0], kernels[1]]
+    assert len(s) == 4
+
+
+def test_repeat_rejects_nonpositive(kernels):
+    with pytest.raises(ValueError):
+        PhaseSchedule([Phase(kernels[0], 1.0)], repeat=0)
+
+
+def test_overlapping_clips_to_window(kernels):
+    s = PhaseSchedule([Phase(kernels[0], 0.5), Phase(kernels[1], 0.5)])
+    over = s.overlapping(1000, 400, 600)
+    assert len(over) == 2
+    assert over[0] == (400, 500, kernels[0])
+    assert over[1] == (500, 600, kernels[1])
+
+
+def test_overlapping_single_phase_window(kernels):
+    s = PhaseSchedule([Phase(kernels[0], 0.5), Phase(kernels[1], 0.5)])
+    over = s.overlapping(1000, 0, 100)
+    assert over == [(0, 100, kernels[0])]
+
+
+def test_overlapping_rejects_bad_window(kernels):
+    s = PhaseSchedule([Phase(kernels[0], 1.0)])
+    with pytest.raises(ValueError):
+        s.overlapping(1000, 500, 400)
+    with pytest.raises(ValueError):
+        s.overlapping(1000, 0, 2000)
+
+
+def test_tiny_fractions_never_lose_instructions(kernels):
+    s = PhaseSchedule(
+        [Phase(kernels[0], 0.999), Phase(kernels[1], 0.001)]
+    )
+    segs = s.segments(100)
+    covered = sum(b - a for a, b, _ in segs)
+    assert covered == 100

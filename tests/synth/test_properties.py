@@ -1,0 +1,116 @@
+"""Property-based tests for the trace substrate.
+
+Hypothesis generates random kernel parameters and schedule shapes; the
+invariants — exact lengths, trace validity, determinism, partitioning —
+must hold for all of them.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.synth import (
+    Phase,
+    PhaseSchedule,
+    SyntheticProgram,
+    generator,
+    pointer_chase_kernel,
+    streaming_kernel,
+)
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+@settings(**SETTINGS)
+@given(
+    seed=st.integers(0, 2**31),
+    n_arrays=st.integers(1, 4),
+    stride=st.sampled_from([1, 2, 4, 8, 16]),
+    ops=st.integers(1, 12),
+    unroll=st.integers(1, 8),
+    trip=st.integers(1, 1024),
+    chain=st.floats(0.0, 1.0),
+    n=st.integers(1, 3000),
+)
+def test_streaming_kernel_always_valid(seed, n_arrays, stride, ops, unroll, trip, chain, n):
+    k = streaming_kernel(
+        seed=seed,
+        n_arrays=n_arrays,
+        stride=stride,
+        ops_per_element=ops,
+        unroll=unroll,
+        trip=trip,
+        chain_frac=chain,
+    )
+    t = k.generate(n, generator("prop", seed, n))
+    assert len(t) == n
+    t.validate()
+
+
+@settings(**SETTINGS)
+@given(
+    seed=st.integers(0, 2**31),
+    nodes=st.integers(1, 1 << 14),
+    fields=st.integers(1, 4),
+    work=st.integers(0, 10),
+    entropy=st.floats(0.0, 1.0),
+    n=st.integers(1, 2000),
+)
+def test_pointer_chase_kernel_always_valid(seed, nodes, fields, work, entropy, n):
+    k = pointer_chase_kernel(
+        seed=seed,
+        n_nodes=nodes,
+        fields_per_node=fields,
+        work_per_node=work,
+        branch_entropy=entropy,
+    )
+    t = k.generate(n, generator("prop2", seed, n))
+    assert len(t) == n
+    t.validate()
+
+
+@settings(**SETTINGS)
+@given(
+    fractions=st.lists(st.floats(0.01, 10.0), min_size=1, max_size=6),
+    total=st.integers(10, 100_000),
+    repeat=st.integers(1, 4),
+)
+def test_schedule_segments_partition_any_total(fractions, total, repeat):
+    kernels = [streaming_kernel(seed=i) for i in range(len(fractions))]
+    schedule = PhaseSchedule(
+        [Phase(k, f) for k, f in zip(kernels, fractions)], repeat=repeat
+    )
+    segments = schedule.segments(total)
+    assert segments[0][0] == 0
+    assert segments[-1][1] == total
+    covered = 0
+    for start, stop, _ in segments:
+        assert stop > start
+        assert start == covered
+        covered = stop
+    assert covered == total
+
+
+@settings(**SETTINGS)
+@given(
+    n_intervals=st.integers(1, 50),
+    size=st.integers(16, 2048),
+    index_frac=st.floats(0.0, 1.0),
+)
+def test_program_interval_always_exact_and_deterministic(n_intervals, size, index_frac):
+    schedule = PhaseSchedule(
+        [
+            Phase(streaming_kernel(seed=1), 0.5),
+            Phase(pointer_chase_kernel(seed=2), 0.5),
+        ]
+    )
+    program = SyntheticProgram("prop", schedule, n_intervals=n_intervals, seed=3)
+    index = min(n_intervals - 1, int(index_frac * n_intervals))
+    a = program.interval_trace(index, size)
+    b = program.interval_trace(index, size)
+    assert len(a) == size
+    a.validate()
+    assert np.array_equal(a.op, b.op)
+    assert np.array_equal(a.addr, b.addr)
+    assert np.array_equal(a.taken, b.taken)

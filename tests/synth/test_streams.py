@@ -1,0 +1,113 @@
+"""Tests for address-stream models."""
+
+import numpy as np
+import pytest
+
+from repro.synth import (
+    GatherStream,
+    PointerChainStream,
+    RandomStream,
+    SequentialStream,
+    StackStream,
+    StridedStream,
+    generator,
+)
+
+
+@pytest.fixture
+def rng():
+    return generator("streams-test")
+
+
+def test_sequential_stream_strides(rng):
+    s = SequentialStream(base=1 << 20, stride=8, region_bytes=1 << 16)
+    addrs = s.addresses(100, rng)
+    diffs = np.diff(addrs)
+    # All strides are +8 except possibly one wrap-around.
+    assert np.count_nonzero(diffs != 8) <= 1
+
+
+def test_sequential_stream_stays_in_region(rng):
+    base = 1 << 20
+    s = SequentialStream(base=base, stride=64, region_bytes=4096)
+    addrs = s.addresses(1000, rng)
+    assert addrs.min() >= base
+    assert addrs.max() < base + 4096
+
+
+def test_strided_stream_long_strides(rng):
+    s = StridedStream(base=0, stride=4096, region_bytes=1 << 22)
+    addrs = s.addresses(50, rng)
+    diffs = np.diff(addrs)
+    assert np.count_nonzero(diffs != 4096) <= 1
+
+
+def test_random_stream_alignment_and_bounds(rng):
+    base = 1 << 24
+    s = RandomStream(base=base, working_set_bytes=1 << 12, align=8)
+    addrs = s.addresses(500, rng)
+    assert ((addrs - base) % 8 == 0).all()
+    assert addrs.min() >= base
+    assert addrs.max() < base + (1 << 12)
+
+
+def test_pointer_chain_covers_all_nodes(rng):
+    s = PointerChainStream(base=0, n_nodes=32, node_bytes=64, layout_seed=5)
+    addrs = s.addresses(32, rng)
+    assert len(np.unique(addrs)) == 32
+
+
+def test_pointer_chain_layout_fixed_across_calls(rng):
+    s = PointerChainStream(base=0, n_nodes=16, node_bytes=64, layout_seed=5)
+    a = set(s.addresses(16, generator("x", 1)).tolist())
+    b = set(s.addresses(16, generator("x", 2)).tolist())
+    assert a == b  # same nodes, different entry point
+
+
+def test_pointer_chain_rejects_bad_node_count():
+    with pytest.raises(ValueError):
+        PointerChainStream(base=0, n_nodes=0)
+
+
+def test_gather_stream_cluster_structure(rng):
+    s = GatherStream(base=0, working_set_bytes=1 << 20, elem_bytes=8, cluster_len=4)
+    addrs = s.addresses(64, rng)
+    diffs = np.abs(np.diff(addrs))
+    # Within clusters the stride is elem_bytes; between clusters it is
+    # usually large.  At least half the diffs must be the small stride.
+    assert np.count_nonzero(diffs == 8) >= len(diffs) // 2
+
+
+def test_gather_stream_zero_length(rng):
+    s = GatherStream(base=0)
+    assert len(s.addresses(0, rng)) == 0
+
+
+def test_stack_stream_small_footprint(rng):
+    s = StackStream(base=1 << 16, frame_bytes=128)
+    addrs = s.addresses(200, rng)
+    assert addrs.max() - addrs.min() < 128
+
+
+def test_streams_reject_negative_count(rng):
+    for s in (
+        SequentialStream(base=0),
+        StridedStream(base=0),
+        RandomStream(base=0),
+        StackStream(base=0),
+    ):
+        with pytest.raises(ValueError):
+            s.addresses(-1, rng)
+
+
+def test_all_streams_return_int64(rng):
+    streams = [
+        SequentialStream(base=0),
+        StridedStream(base=0),
+        RandomStream(base=0),
+        PointerChainStream(base=0, n_nodes=8),
+        GatherStream(base=0),
+        StackStream(base=0),
+    ]
+    for s in streams:
+        assert s.addresses(5, rng).dtype == np.int64

@@ -1,0 +1,115 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def characterization_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "char.npz"
+    code = main(
+        [
+            "characterize",
+            str(path),
+            "--preset",
+            "tiny",
+            "--suite",
+            "BMW",
+            "--suite",
+            "MediaBenchII",
+        ]
+    )
+    assert code == 0
+    return path
+
+
+def test_features_lists_69(capsys):
+    assert main(["features"]) == 0
+    out = capsys.readouterr().out
+    assert "ppm_pas_h12" in out
+    assert out.count("\n") >= 70
+
+
+def test_suites_lists_77(capsys):
+    assert main(["suites"]) == 0
+    out = capsys.readouterr().out
+    assert "77 benchmarks" in out
+    assert "BioPerf" in out and "fasta" in out
+
+
+def test_characterize_writes_file(characterization_file, capsys):
+    assert characterization_file.exists()
+
+
+def test_characterize_reports_summary(tmp_path, capsys):
+    path = tmp_path / "c.npz"
+    assert main(["characterize", str(path), "--preset", "tiny", "--suite", "BMW", "--no-ga"]) == 0
+    out = capsys.readouterr().out
+    assert "prominent phases" in out
+    assert path.exists()
+
+
+def test_characterize_rejects_unknown_preset(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["characterize", str(tmp_path / "x.npz"), "--preset", "gigantic"])
+
+
+def test_compare_prints_suite_table(characterization_file, capsys):
+    assert main(["compare", str(characterization_file)]) == 0
+    out = capsys.readouterr().out
+    assert "BMW" in out and "MediaBenchII" in out
+    assert "unique" in out
+
+
+def test_phases_prints_distribution(characterization_file, capsys):
+    assert main(["phases", str(characterization_file), "BMW", "face"]) == 0
+    out = capsys.readouterr().out
+    assert "cluster" in out
+    assert "unique" in out
+
+
+def test_render_writes_svg(characterization_file, tmp_path, capsys):
+    out_dir = tmp_path / "figs"
+    assert main(["render", str(characterization_file), str(out_dir)]) == 0
+    svgs = list(out_dir.glob("*.svg"))
+    assert svgs
+
+
+def test_simulate_prints_cpi(characterization_file, capsys):
+    assert (
+        main(
+            [
+                "simulate",
+                str(characterization_file),
+                "BMW",
+                "face",
+                "--preset",
+                "tiny",
+                "--full",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "phase-based CPI estimate" in out
+    assert "full-simulation CPI" in out
+
+
+def test_map_writes_svg(characterization_file, tmp_path, capsys):
+    out = tmp_path / "space.svg"
+    assert main(["map", str(characterization_file), str(out)]) == 0
+    assert out.exists()
+    assert out.read_text().startswith("<svg")
+
+
+def test_subset_prints_trajectory(characterization_file, capsys):
+    assert main(["subset", str(characterization_file), "--count", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "cumulative coverage" in out
+    assert out.count("%") >= 4
+
+
+def test_unknown_command_exits():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

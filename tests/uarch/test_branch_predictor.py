@@ -1,0 +1,88 @@
+"""Tests for the hardware branch predictors."""
+
+import numpy as np
+import pytest
+
+from repro.uarch import BimodalPredictor, GSharePredictor
+
+
+def constant_stream(n, taken=True, pc=0x400):
+    return np.full(n, pc, dtype=np.int64), np.full(n, taken, dtype=bool)
+
+
+def test_bimodal_learns_constant_branch():
+    p = BimodalPredictor()
+    pcs, outs = constant_stream(100)
+    misses = p.predict_many(pcs, outs)
+    # Initial weakly-not-taken counters cost a couple of misses.
+    assert misses <= 2
+    assert p.miss_rate <= 0.02
+
+
+def test_bimodal_alternating_branch_is_hard():
+    p = BimodalPredictor()
+    pcs = np.full(200, 0x400, dtype=np.int64)
+    outs = np.tile([True, False], 100)
+    p.predict_many(pcs, outs)
+    # 2-bit counters cannot learn alternation.
+    assert p.miss_rate > 0.4
+
+
+def test_gshare_learns_alternating_branch():
+    p = GSharePredictor()
+    pcs = np.full(400, 0x400, dtype=np.int64)
+    outs = np.tile([True, False], 200)
+    p.predict_many(pcs, outs)
+    # History-indexed counters learn the period-2 pattern.
+    assert p.miss_rate < 0.1
+
+
+def test_gshare_learns_longer_pattern():
+    p = GSharePredictor()
+    pcs = np.full(600, 0x400, dtype=np.int64)
+    outs = np.tile([True, True, False], 200)
+    p.predict_many(pcs, outs)
+    assert p.miss_rate < 0.1
+
+
+def test_predictors_struggle_on_random():
+    rng = np.random.default_rng(5)
+    pcs = np.full(2000, 0x400, dtype=np.int64)
+    outs = rng.random(2000) < 0.5
+    for p in (BimodalPredictor(), GSharePredictor()):
+        p.predict_many(pcs, outs)
+        assert p.miss_rate > 0.35
+
+
+def test_bimodal_separates_static_branches():
+    p = BimodalPredictor()
+    pcs = np.tile([0x400, 0x800], 100).astype(np.int64)
+    outs = np.tile([True, False], 100)
+    p.predict_many(pcs, outs)
+    # Different table entries: both constant branches are learned.
+    assert p.miss_rate < 0.05
+
+
+def test_table_bits_validation():
+    with pytest.raises(ValueError):
+        BimodalPredictor(table_bits=0)
+    with pytest.raises(ValueError):
+        GSharePredictor(history_bits=30)
+
+
+def test_state_persists_across_calls():
+    p = BimodalPredictor()
+    pcs, outs = constant_stream(50)
+    p.predict_many(pcs, outs)
+    first_rate = p.miss_rate
+    p.predict_many(pcs, outs)
+    assert p.miss_rate <= first_rate  # warmed up
+
+
+def test_miss_counts_accumulate():
+    p = GSharePredictor()
+    pcs, outs = constant_stream(10)
+    m1 = p.predict_many(pcs, outs)
+    m2 = p.predict_many(pcs, outs)
+    assert p.misses == m1 + m2
+    assert p.predictions == 20

@@ -1,0 +1,128 @@
+"""Known-answer tests for the LRU cache simulator."""
+
+import numpy as np
+import pytest
+
+from repro.uarch import Cache, CacheConfig, CacheHierarchy
+
+
+def tiny_cache(assoc=2, sets=2, line=64):
+    return Cache(CacheConfig(size_bytes=line * assoc * sets, line_bytes=line, associativity=assoc))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=0)
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, line_bytes=64, associativity=4)  # not multiple
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=64 * 4 * 3, line_bytes=64, associativity=4)  # 3 sets
+
+
+def test_n_sets():
+    cfg = CacheConfig(size_bytes=32 * 1024, line_bytes=64, associativity=4)
+    assert cfg.n_sets == 128
+
+
+def test_cold_miss_then_hit():
+    c = tiny_cache()
+    assert not c.access(0x100)  # cold miss
+    assert c.access(0x100)      # hit
+    assert c.access(0x13F)      # same 64B line
+    assert c.misses == 1
+    assert c.accesses == 3
+
+
+def test_lru_eviction():
+    c = tiny_cache(assoc=2, sets=1, line=64)
+    a, b, d = 0x000, 0x040, 0x080
+    c.access(a)
+    c.access(b)
+    c.access(d)          # evicts a (LRU)
+    assert not c.access(a)  # miss: was evicted
+    assert c.access(d)      # d still resident
+
+
+def test_lru_order_updated_on_hit():
+    c = tiny_cache(assoc=2, sets=1, line=64)
+    a, b, d = 0x000, 0x040, 0x080
+    c.access(a)
+    c.access(b)
+    c.access(a)          # a becomes MRU
+    c.access(d)          # evicts b, not a
+    assert c.access(a)
+    assert not c.access(b)
+
+
+def test_sets_are_independent():
+    c = tiny_cache(assoc=1, sets=2, line=64)
+    # addresses mapping to set 0 and set 1
+    c.access(0x000)  # set 0
+    c.access(0x040)  # set 1
+    assert c.access(0x000)
+    assert c.access(0x040)
+
+
+def test_access_many_matches_scalar():
+    addrs = np.random.default_rng(1).integers(0, 1 << 14, 500) * 8
+    c1 = tiny_cache(assoc=4, sets=8)
+    c2 = tiny_cache(assoc=4, sets=8)
+    misses_scalar = sum(0 if c1.access(int(a)) else 1 for a in addrs)
+    misses_vector = c2.access_many(addrs)
+    assert misses_scalar == misses_vector
+
+
+def test_reset_stats_keeps_state():
+    c = tiny_cache()
+    c.access(0x100)
+    c.reset_stats()
+    assert c.misses == 0
+    assert c.access(0x100)  # still resident
+
+
+def test_miss_rate():
+    c = tiny_cache()
+    assert c.miss_rate == 0.0
+    c.access(0x100)
+    c.access(0x100)
+    assert c.miss_rate == pytest.approx(0.5)
+
+
+def test_sequential_stream_misses_once_per_line():
+    c = Cache(CacheConfig(size_bytes=64 * 1024, line_bytes=64, associativity=4))
+    addrs = np.arange(0, 8 * 1024, 8, dtype=np.int64)  # 8KB walk, fits
+    misses = c.access_many(addrs)
+    assert misses == 8 * 1024 // 64
+
+
+def test_capacity_thrash_on_large_working_set():
+    cache = Cache(CacheConfig(size_bytes=4 * 1024, line_bytes=64, associativity=4))
+    addrs = np.tile(np.arange(0, 64 * 1024, 64, dtype=np.int64), 2)
+    misses = cache.access_many(addrs)
+    # Both passes of a 16x-oversized sequential walk miss every line.
+    assert misses == len(addrs)
+
+
+def test_hierarchy_l2_sees_only_l1_misses():
+    h = CacheHierarchy(
+        CacheConfig(size_bytes=1024, line_bytes=64, associativity=2),
+        CacheConfig(size_bytes=8 * 1024, line_bytes=64, associativity=4),
+    )
+    addrs = np.tile(np.arange(0, 4 * 1024, 64, dtype=np.int64), 3)
+    l1_misses, l2_misses = h.access_many(addrs)
+    assert h.l2.accesses == l1_misses
+    assert l2_misses <= l1_misses
+    # Second and third passes hit in L2 (working set fits there).
+    assert l2_misses == 4 * 1024 // 64
+
+
+def test_hierarchy_without_l2():
+    h = CacheHierarchy(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2), None)
+    l1, l2 = h.access_many(np.arange(0, 2048, 64, dtype=np.int64))
+    assert l2 == 0
+    assert l1 == 32
+
+
+def test_hierarchy_empty_stream():
+    h = CacheHierarchy(CacheConfig(size_bytes=1024, line_bytes=64, associativity=2), None)
+    assert h.access_many(np.empty(0, dtype=np.int64)) == (0, 0)

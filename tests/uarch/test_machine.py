@@ -1,0 +1,117 @@
+"""Tests for the trace-driven timing model."""
+
+import numpy as np
+import pytest
+
+from repro.isa import Trace
+from repro.synth import (
+    generator,
+    matrix_kernel,
+    pointer_chase_kernel,
+    sorting_kernel,
+    streaming_kernel,
+)
+from repro.uarch import CacheConfig, MachineConfig, SimResult, simulate
+
+
+def trace_of(kernel, n=6000, tag="machine"):
+    return kernel.generate(n, generator(tag))
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return MachineConfig()
+
+
+def test_rejects_empty_trace(machine):
+    with pytest.raises(ValueError):
+        simulate(Trace.empty(), machine)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        MachineConfig(width=0)
+    with pytest.raises(ValueError):
+        MachineConfig(predictor="tage")
+
+
+def test_result_consistency(machine):
+    res = simulate(trace_of(streaming_kernel(seed=1)), machine)
+    assert res.instructions == 6000
+    assert res.cycles > 0
+    assert res.cpi == pytest.approx(res.cycles / res.instructions)
+    assert res.ipc == pytest.approx(1.0 / res.cpi)
+    for rate in (res.l1d_miss_rate, res.l2_miss_rate, res.l1i_miss_rate, res.bp_miss_rate):
+        assert 0.0 <= rate <= 1.0
+
+
+def test_cpi_at_least_width_limit(machine):
+    res = simulate(trace_of(matrix_kernel(seed=2, accumulators=8)), machine)
+    assert res.cpi >= 1.0 / machine.width - 1e-9
+
+
+def test_simulation_is_deterministic(machine):
+    t = trace_of(pointer_chase_kernel(seed=3))
+    a = simulate(t, machine)
+    b = simulate(t, machine)
+    assert a.cycles == b.cycles
+    assert a.bp_miss_rate == b.bp_miss_rate
+
+
+def test_pointer_chase_misses_more_than_streaming(machine):
+    chase = simulate(trace_of(pointer_chase_kernel(seed=4, n_nodes=1 << 16)), machine)
+    stream = simulate(trace_of(streaming_kernel(seed=4, region_kb=8)), machine)
+    assert chase.l1d_miss_rate > stream.l1d_miss_rate
+    assert chase.cpi > stream.cpi
+
+
+def test_random_branches_cost_cycles(machine):
+    hard = simulate(trace_of(sorting_kernel(seed=5, compare_entropy=0.5)), machine)
+    easy = simulate(trace_of(streaming_kernel(seed=5)), machine)
+    assert hard.bp_miss_rate > easy.bp_miss_rate
+
+
+def test_bigger_cache_never_misses_more():
+    t = trace_of(pointer_chase_kernel(seed=6, n_nodes=1 << 12))
+    small = MachineConfig(l1d=CacheConfig(4 * 1024, 64, 4), l2=None, l1i=None)
+    large = MachineConfig(l1d=CacheConfig(64 * 1024, 64, 4), l2=None, l1i=None)
+    r_small = simulate(t, small)
+    r_large = simulate(t, large)
+    assert r_large.l1d_miss_rate <= r_small.l1d_miss_rate
+    assert r_large.cpi <= r_small.cpi
+
+
+def test_wider_machine_never_slower():
+    t = trace_of(matrix_kernel(seed=7, accumulators=8))
+    narrow = simulate(t, MachineConfig(width=1))
+    wide = simulate(t, MachineConfig(width=8))
+    assert wide.cycles <= narrow.cycles
+
+
+def test_warmup_reduces_measured_misses():
+    t = trace_of(streaming_kernel(seed=8, region_kb=8))
+    cold = simulate(t, MachineConfig(warmup=False))
+    warm = simulate(t, MachineConfig(warmup=True))
+    assert warm.l1d_miss_rate <= cold.l1d_miss_rate
+    assert warm.cpi <= cold.cpi
+
+
+def test_gshare_machine_beats_bimodal_on_patterns():
+    # Alternating-pattern branches: gshare learns, bimodal cannot.
+    from repro.synth import BodyBuilder, Kernel, PatternBranch
+    from repro.isa import OpClass
+
+    rng = generator("bp-machine")
+    builder = BodyBuilder(rng)
+    builder.add(OpClass.IADD)
+    builder.branch(PatternBranch(pattern=(True, False)))
+    t = Kernel("alt", builder.slots).generate(4000, generator("bp", 1))
+    gshare = simulate(t, MachineConfig(predictor="gshare"))
+    bimodal = simulate(t, MachineConfig(predictor="bimodal"))
+    assert gshare.bp_miss_rate < bimodal.bp_miss_rate
+
+
+def test_icache_disabled(machine):
+    t = trace_of(streaming_kernel(seed=9))
+    res = simulate(t, MachineConfig(l1i=None))
+    assert res.l1i_miss_rate == 0.0

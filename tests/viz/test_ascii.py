@@ -1,0 +1,50 @@
+"""Tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz import KiviatScale, ascii_bar_chart, ascii_curve_table, ascii_kiviat
+
+
+@pytest.fixture
+def scale():
+    matrix = np.array([[0.0, 0.0], [10.0, 1.0]])
+    return KiviatScale.fit(matrix, ["alpha", "b"])
+
+
+def test_ascii_kiviat_line_per_axis(scale):
+    lines = ascii_kiviat(np.array([10.0, 0.0]), scale, width=10)
+    assert len(lines) == 2
+    assert lines[0].startswith("alpha")
+    assert "##########" in lines[0]  # full bar for max value
+    assert "----------" in lines[1]  # empty bar for min value
+
+
+def test_ascii_kiviat_includes_values(scale):
+    lines = ascii_kiviat(np.array([5.0, 0.5]), scale)
+    assert "5" in lines[0]
+    assert "0.5" in lines[1]
+
+
+def test_ascii_bar_chart_scales_to_peak():
+    lines = ascii_bar_chart({"x": 10.0, "y": 5.0}, width=10)
+    assert lines[0].count("█") == 10
+    assert lines[1].count("█") == 5
+
+
+def test_ascii_bar_chart_empty():
+    assert ascii_bar_chart({}) == []
+
+
+def test_ascii_curve_table_checkpoints():
+    curves = {"s": np.array([0.5, 0.8, 1.0])}
+    lines = ascii_curve_table(curves, [1, 2, 3, 10])
+    assert len(lines) == 2
+    assert "50.0%" in lines[1]
+    assert "100.0%" in lines[1]
+
+
+def test_ascii_curve_table_clamps_past_end():
+    curves = {"s": np.array([1.0])}
+    lines = ascii_curve_table(curves, [5])
+    assert "100.0%" in lines[1]

@@ -1,0 +1,55 @@
+"""Tests for SVG bar/line charts."""
+
+import numpy as np
+import pytest
+
+from repro.viz import bar_chart_svg, line_chart_svg
+
+
+def test_bar_chart_valid_svg():
+    svg = bar_chart_svg({"a": 10.0, "bb": 5.0}, title="t", unit="%")
+    assert svg.startswith("<svg")
+    assert svg.count("<rect") >= 3  # background + two bars
+    assert "a" in svg and "bb" in svg
+    assert "10%" in svg
+
+
+def test_bar_chart_scales_to_peak():
+    svg = bar_chart_svg({"big": 100.0, "half": 50.0})
+    import re
+
+    widths = [
+        float(m) for m in re.findall(r'<rect x="[\d.]+" y="[\d.]+" width="([\d.]+)"', svg)
+    ]
+    assert len(widths) == 2
+    assert widths[0] == pytest.approx(2 * widths[1], rel=0.02)
+
+
+def test_bar_chart_rejects_empty():
+    with pytest.raises(ValueError):
+        bar_chart_svg({})
+
+
+def test_line_chart_valid_svg():
+    curves = {
+        "s1": np.array([0.5, 0.8, 1.0]),
+        "s2": np.array([0.2, 0.4, 0.6, 0.8, 1.0]),
+    }
+    svg = line_chart_svg(curves, title="fig5")
+    assert svg.startswith("<svg")
+    assert svg.count("<path") == 2
+    assert "s1" in svg and "s2" in svg
+    assert "100%" in svg
+
+
+def test_line_chart_max_x_clips():
+    curves = {"s": np.linspace(0.1, 1.0, 50)}
+    svg = line_chart_svg(curves, max_x=10)
+    assert svg.count(" L ") >= 1
+
+
+def test_line_chart_rejects_empty():
+    with pytest.raises(ValueError):
+        line_chart_svg({})
+    with pytest.raises(ValueError):
+        line_chart_svg({"s": np.array([])})

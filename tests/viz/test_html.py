@@ -1,0 +1,44 @@
+"""Tests for the HTML report index."""
+
+from repro.viz import (
+    render_prominent_phase_pages,
+    write_report_index,
+    write_workload_space_map,
+)
+
+
+def test_index_written_with_summary(small_result, tmp_path):
+    index = write_report_index(small_result, tmp_path)
+    assert index.name == "index.html"
+    content = index.read_text()
+    assert "sampled intervals" in content
+    assert str(len(small_result.dataset)) in content
+    for name in small_result.key_characteristics:
+        assert name in content
+
+
+def test_index_embeds_svg_pages(small_result, tmp_path):
+    pages = render_prominent_phase_pages(small_result, tmp_path)
+    scatter = write_workload_space_map(small_result, tmp_path / "map.svg")
+    index = write_report_index(
+        small_result, tmp_path, svg_pages=list(pages) + [scatter]
+    )
+    content = index.read_text()
+    for page in pages:
+        assert page.name in content
+    assert "map.svg" in content
+
+
+def test_index_inlines_text_reports(small_result, tmp_path):
+    report = tmp_path / "fig4.txt"
+    report.write_text("SPECfp2006 ### 82")
+    index = write_report_index(small_result, tmp_path, text_reports=[report])
+    content = index.read_text()
+    assert "SPECfp2006 ### 82" in content
+
+
+def test_index_escapes_html_in_reports(small_result, tmp_path):
+    report = tmp_path / "evil.txt"
+    report.write_text("<script>alert(1)</script>")
+    index = write_report_index(small_result, tmp_path, text_reports=[report])
+    assert "<script>" not in index.read_text()

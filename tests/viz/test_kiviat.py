@@ -1,0 +1,76 @@
+"""Tests for kiviat scaling and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.viz import KiviatScale, SvgCanvas, draw_kiviat
+
+
+@pytest.fixture
+def scale():
+    matrix = np.array(
+        [
+            [0.0, 10.0, 5.0],
+            [1.0, 20.0, 5.0],
+            [2.0, 30.0, 5.0],
+        ]
+    )
+    return KiviatScale.fit(matrix, ["a", "b", "c"])
+
+
+def test_fit_statistics(scale):
+    assert scale.minimum.tolist() == [0.0, 10.0, 5.0]
+    assert scale.maximum.tolist() == [2.0, 30.0, 5.0]
+    assert scale.mean.tolist() == [1.0, 20.0, 5.0]
+
+
+def test_normalize_maps_to_unit_range(scale):
+    f = scale.normalize(np.array([0.0, 30.0, 5.0]))
+    assert f[0] == pytest.approx(0.0)
+    assert f[1] == pytest.approx(1.0)
+    # Constant axis maps to 0 without dividing by zero.
+    assert f[2] == pytest.approx(0.0)
+
+
+def test_normalize_clips_out_of_range(scale):
+    f = scale.normalize(np.array([-5.0, 100.0, 5.0]))
+    assert f[0] == 0.0
+    assert f[1] == 1.0
+
+
+def test_normalize_rejects_wrong_length(scale):
+    with pytest.raises(ValueError):
+        scale.normalize(np.zeros(4))
+
+
+def test_ring_fractions_ordered(scale):
+    low, mid, high = scale.ring_fractions()
+    assert (low <= mid + 1e-12).all()
+    assert (mid <= high + 1e-12).all()
+
+
+def test_fit_rejects_shape_mismatch():
+    with pytest.raises(ValueError):
+        KiviatScale.fit(np.zeros((3, 2)), ["a", "b", "c"])
+
+
+def test_fit_requires_two_phases():
+    with pytest.raises(ValueError):
+        KiviatScale.fit(np.zeros((1, 3)), ["a", "b", "c"])
+
+
+def test_draw_kiviat_emits_polygons(scale):
+    canvas = SvgCanvas(200, 200)
+    draw_kiviat(canvas, 100, 100, 80, np.array([1.0, 20.0, 5.0]), scale)
+    s = canvas.to_string()
+    # outer ring + 3 stat rings + phase polygon = 5 polygons
+    assert s.count("<polygon") == 5
+
+
+def test_draw_kiviat_axis_labels(scale):
+    canvas = SvgCanvas(200, 200)
+    draw_kiviat(
+        canvas, 100, 100, 80, np.array([0.0, 10.0, 5.0]), scale, label_axes=True
+    )
+    s = canvas.to_string()
+    assert ">1<" in s and ">3<" in s

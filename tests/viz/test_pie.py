@@ -1,0 +1,51 @@
+"""Tests for pie-chart rendering."""
+
+import pytest
+
+from repro.viz import SvgCanvas, draw_pie
+
+
+def test_legend_matches_major_shares():
+    canvas = SvgCanvas(100, 100)
+    legend = draw_pie(
+        canvas, 50, 50, 40, [("a", 0.6), ("b", 0.4)], min_slice=0.05
+    )
+    assert [label for label, _ in legend] == ["a", "b"]
+    assert canvas.to_string().count("<path") == 2
+
+
+def test_minor_shares_merged_into_other():
+    canvas = SvgCanvas(100, 100)
+    shares = [("big", 0.95)] + [(f"tiny{i}", 0.01) for i in range(5)]
+    legend = draw_pie(canvas, 50, 50, 40, shares, min_slice=0.02)
+    labels = [label for label, _ in legend]
+    assert labels[0] == "big"
+    assert labels[-1].startswith("other")
+    assert "(5)" in labels[-1]
+
+
+def test_shares_are_normalized():
+    canvas = SvgCanvas(100, 100)
+    legend = draw_pie(canvas, 50, 50, 40, [("a", 3.0), ("b", 1.0)])
+    assert len(legend) == 2
+
+
+def test_single_full_share_draws_circle():
+    canvas = SvgCanvas(100, 100)
+    draw_pie(canvas, 50, 50, 40, [("only", 1.0)])
+    assert "<circle" in canvas.to_string()
+
+
+def test_rejects_nonpositive_total():
+    canvas = SvgCanvas(100, 100)
+    with pytest.raises(ValueError):
+        draw_pie(canvas, 50, 50, 40, [("a", 0.0)])
+
+
+def test_colors_are_distinct_for_major_slices():
+    canvas = SvgCanvas(100, 100)
+    legend = draw_pie(
+        canvas, 50, 50, 40, [(f"s{i}", 0.2) for i in range(5)], min_slice=0.01
+    )
+    colors = [c for _, c in legend]
+    assert len(set(colors)) == len(colors)

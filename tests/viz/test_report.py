@@ -1,0 +1,37 @@
+"""Tests for the figure-page generator."""
+
+import pytest
+
+from repro.viz import build_kiviat_scale, render_prominent_phase_pages
+
+
+def test_pages_written(small_result, tmp_path):
+    pages = render_prominent_phase_pages(small_result, tmp_path / "figs")
+    assert len(pages) >= 2  # at least one group page + legend
+    for p in pages:
+        assert p.exists()
+        content = p.read_text()
+        assert content.startswith("<svg")
+        assert content.rstrip().endswith("</svg>")
+
+
+def test_legend_lists_key_characteristics(small_result, tmp_path):
+    pages = render_prominent_phase_pages(small_result, tmp_path / "figs")
+    legend = [p for p in pages if "legend" in p.name][0]
+    content = legend.read_text()
+    for name in small_result.key_characteristics:
+        assert name in content
+
+
+def test_group_pages_have_weights(small_result, tmp_path):
+    pages = render_prominent_phase_pages(small_result, tmp_path / "figs")
+    group_pages = [p for p in pages if "legend" not in p.name]
+    assert any("weight:" in p.read_text() for p in group_pages)
+
+
+def test_build_scale_requires_key_characteristics(small_dataset, small_config):
+    from repro.core import run_characterization
+
+    res = run_characterization(small_dataset, small_config, select_key=False)
+    with pytest.raises(ValueError):
+        build_kiviat_scale(res)

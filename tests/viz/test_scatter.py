@@ -1,0 +1,40 @@
+"""Tests for the workload-space scatter map."""
+
+import pytest
+
+from repro.viz import workload_space_map, write_workload_space_map
+
+
+def test_map_is_valid_svg(small_result):
+    svg = workload_space_map(small_result)
+    assert svg.startswith("<svg")
+    assert svg.rstrip().endswith("</svg>")
+
+
+def test_map_contains_all_suites_in_legend(small_result):
+    svg = workload_space_map(small_result)
+    for suite in small_result.dataset.suite_names():
+        assert suite in svg
+
+
+def test_map_draws_one_point_per_interval(small_result):
+    svg = workload_space_map(small_result)
+    # Points plus 7 legend dots.
+    n_points = svg.count("fill-opacity=\"0.55\"")
+    assert n_points == len(small_result.dataset)
+
+
+def test_component_selection(small_result):
+    svg = workload_space_map(small_result, components=(1, 2))
+    assert "PC2" in svg and "PC3" in svg
+
+
+def test_component_out_of_range(small_result):
+    with pytest.raises(ValueError):
+        workload_space_map(small_result, components=(0, 99))
+
+
+def test_write_map(small_result, tmp_path):
+    path = write_workload_space_map(small_result, tmp_path / "map.svg")
+    assert path.exists()
+    assert path.read_text().startswith("<svg")

@@ -1,0 +1,73 @@
+"""Tests for the SVG writer."""
+
+import math
+
+import pytest
+
+from repro.viz import SvgCanvas, polar_points
+
+
+def test_canvas_produces_valid_skeleton():
+    c = SvgCanvas(100, 50)
+    s = c.to_string()
+    assert s.startswith("<svg")
+    assert 'width="100"' in s
+    assert s.rstrip().endswith("</svg>")
+
+
+def test_canvas_rejects_bad_dimensions():
+    with pytest.raises(ValueError):
+        SvgCanvas(0, 10)
+
+
+def test_elements_appear_in_output():
+    c = SvgCanvas(10, 10)
+    c.line(0, 0, 5, 5)
+    c.circle(5, 5, 2)
+    c.polygon([(0, 0), (1, 0), (0, 1)])
+    c.text(1, 1, "hello")
+    s = c.to_string()
+    for tag in ("<line", "<circle", "<polygon", "<text"):
+        assert tag in s
+    assert "hello" in s
+
+
+def test_text_is_escaped():
+    c = SvgCanvas(10, 10)
+    c.text(0, 0, "<b>&x</b>")
+    s = c.to_string()
+    assert "<b>" not in s
+    assert "&amp;x" in s
+
+
+def test_full_circle_wedge_is_circle():
+    c = SvgCanvas(10, 10)
+    c.wedge(5, 5, 3, 0.0, 1.0)
+    assert "<circle" in c.to_string()
+
+
+def test_partial_wedge_is_path():
+    c = SvgCanvas(10, 10)
+    c.wedge(5, 5, 3, 0.0, 0.25)
+    assert "<path" in c.to_string()
+
+
+def test_large_wedge_uses_large_arc_flag():
+    c = SvgCanvas(10, 10)
+    c.wedge(5, 5, 3, 0.0, 0.75)
+    assert " 1 1 " in c.to_string()
+
+
+def test_polar_points_geometry():
+    pts = polar_points(0, 0, [1.0, 1.0, 1.0, 1.0])
+    # First axis points up.
+    assert pts[0][0] == pytest.approx(0.0, abs=1e-9)
+    assert pts[0][1] == pytest.approx(-1.0)
+    # All on the unit circle.
+    for x, y in pts:
+        assert math.hypot(x, y) == pytest.approx(1.0)
+
+
+def test_polar_points_requires_three_axes():
+    with pytest.raises(ValueError):
+        polar_points(0, 0, [1.0, 2.0])
