@@ -43,7 +43,7 @@ def bench_fig2_fig3_pages(benchmark, result, output_dir, report):
     text += (
         f"\n\nprominent phases: {len(result.prominent)}"
         f"\ntotal coverage: {100 * result.prominent.coverage:.1f}%"
-        f" (paper: 87.8%)"
+        " (paper: 87.8%)"
         f"\nretained components: {result.n_components}"
         f" explaining {100 * result.explained_variance:.1f}% (paper: 85.4%)"
         f"\nSVG pages: {', '.join(p.name for p in pages)}"

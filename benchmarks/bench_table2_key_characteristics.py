@@ -9,7 +9,7 @@ metric categories and preserves distances well.
 
 from repro.ga import DistanceCorrelationFitness, select_features
 from repro.io import format_table
-from repro.mica import CATEGORIES, FEATURE_CATEGORY, FEATURES, FEATURE_INDEX, N_FEATURES
+from repro.mica import FEATURE_CATEGORY, FEATURES, FEATURE_INDEX, N_FEATURES
 from repro.synth import generator
 
 

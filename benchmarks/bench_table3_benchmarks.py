@@ -5,7 +5,6 @@ of instruction intervals) and times the interval-sampling step that
 consumes it.
 """
 
-import numpy as np
 
 from repro.core import sample_interval_indices
 from repro.io import format_table

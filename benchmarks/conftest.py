@@ -18,7 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.config import AnalysisConfig
-from repro.io import cached_characterization, cached_dataset
+from repro.io import cached_characterization
 
 CACHE_DIR = Path(__file__).parent / ".cache"
 OUTPUT_DIR = Path(__file__).parent / "output"

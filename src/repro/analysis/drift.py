@@ -10,8 +10,7 @@ generations, and how much did the suites' occupied regions shift?
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

@@ -10,12 +10,11 @@ in a single cluster).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
-import numpy as np
 
 from ..core import PhaseCharacterization
-from .clusters import ClusterComposition, cluster_compositions, compositions_by_id
+from .clusters import cluster_compositions, compositions_by_id
 
 
 @dataclass(frozen=True)

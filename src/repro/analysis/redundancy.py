@@ -18,7 +18,7 @@ import numpy as np
 
 from ..core import WorkloadDataset
 from ..stats import Clustering
-from .clusters import ClusterComposition, cluster_compositions
+from .clusters import cluster_compositions
 
 
 def suite_redundancy(

@@ -69,6 +69,13 @@ def _select_benchmarks(suite_names: Optional[List[str]]):
 
 def _cmd_characterize(args: argparse.Namespace) -> int:
     config = _preset(args.preset)
+    try:
+        if args.n_jobs is not None:
+            config = config.replace(n_jobs=args.n_jobs)
+        if args.parallel_backend is not None:
+            config = config.replace(parallel_backend=args.parallel_backend)
+    except ValueError as exc:
+        raise SystemExit(f"repro characterize: error: {exc}")
     benches = _select_benchmarks(args.suite)
     print(f"characterizing {len(benches)} benchmarks at preset {args.preset!r}...")
     dataset = build_dataset(
@@ -220,6 +227,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--no-ga", action="store_true", help="skip key-characteristic GA")
     p.add_argument("--verbose", action="store_true", help="per-benchmark progress")
+    p.add_argument(
+        "--n-jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="parallel workers for dataset build and k-means restarts "
+        "(-1 = all cores; default: preset value, serial)",
+    )
+    p.add_argument(
+        "--parallel-backend",
+        choices=("auto", "serial", "thread", "process"),
+        default=None,
+        help="executor backend for --n-jobs > 1 (default: auto)",
+    )
     p.set_defaults(func=_cmd_characterize)
 
     p = sub.add_parser("compare", help="coverage/diversity/uniqueness per suite")

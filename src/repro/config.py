@@ -38,6 +38,15 @@ class AnalysisConfig:
       kiviat axes (paper: 12).
     * ``ilp_sample_instructions`` / ``ppm_sample_branches`` — per-interval
       subsample sizes for the two inherently sequential meters.
+
+    Two execution knobs control how the hot stages run without affecting
+    what they compute (results are bit-identical for a fixed seed at any
+    worker count, so neither participates in cache keys):
+
+    * ``n_jobs`` — parallel workers for dataset build and k-means
+      restarts; ``-1`` means all cores, ``1`` means serial.
+    * ``parallel_backend`` — ``auto`` | ``serial`` | ``thread`` |
+      ``process`` (see :mod:`repro.parallel`).
     """
 
     interval_instructions: int = 10_000
@@ -55,6 +64,11 @@ class AnalysisConfig:
     ga_generations: int = 30
     ga_stall_generations: int = 8
     seed: int = 2008
+    n_jobs: int = 1
+    parallel_backend: str = "auto"
+
+    #: Fields that control execution, not results; excluded from cache keys.
+    EXECUTION_KNOBS = ("n_jobs", "parallel_backend")
 
     def __post_init__(self) -> None:
         if self.interval_instructions <= 0:
@@ -65,6 +79,12 @@ class AnalysisConfig:
             raise ValueError("n_prominent cannot exceed n_clusters")
         if not 0 < self.n_key_characteristics <= 69:
             raise ValueError("n_key_characteristics must be in (0, 69]")
+        if self.n_jobs != -1 and self.n_jobs < 1:
+            raise ValueError("n_jobs must be -1 (all cores) or >= 1")
+        if self.parallel_backend not in ("auto", "serial", "thread", "process"):
+            raise ValueError(
+                "parallel_backend must be one of auto, serial, thread, process"
+            )
 
     @classmethod
     def paper(cls) -> "AnalysisConfig":
@@ -134,7 +154,12 @@ class AnalysisConfig:
 
         Used to key cached full characterizations (clustering + GA),
         which depend on the analysis parameters as well as the
-        featurization parameters.
+        featurization parameters.  Execution knobs (``n_jobs``,
+        ``parallel_backend``) are excluded: they change how fast the
+        answer arrives, never what it is.
         """
-        blob = json.dumps(dataclasses.asdict(self), sort_keys=True).encode()
+        fields = dataclasses.asdict(self)
+        for knob in self.EXECUTION_KNOBS:
+            fields.pop(knob, None)
+        blob = json.dumps(fields, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()[:16]

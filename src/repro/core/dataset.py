@@ -14,7 +14,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..config import AnalysisConfig
-from ..mica import N_FEATURES, characterize_interval, feature_names
+from ..mica import N_FEATURES, characterize_interval
+from ..parallel import Executor, get_executor
 from ..suites import Benchmark
 from .sampling import sample_interval_indices
 
@@ -67,12 +68,35 @@ class WorkloadDataset:
         return (self.suites == suite) & (self.benchmarks == name)
 
 
+def _characterize_benchmark(payload, index: int):
+    """Sample and characterize one benchmark (executor task body).
+
+    Returns ``(feature_block, picks, n_unique)`` where the block already
+    has duplicate picks replicated, so the parent only concatenates.
+    """
+    benchmarks, config, counts = payload
+    bench = benchmarks[index]
+    n_samples = config.intervals_per_benchmark
+    if counts is not None:
+        n_samples = counts.get(bench.key, n_samples)
+    picks = sample_interval_indices(bench, n_samples, seed=config.seed)
+    unique_picks, inverse = np.unique(picks, return_inverse=True)
+    vectors = np.empty((len(unique_picks), N_FEATURES), dtype=np.float64)
+    for j, interval_idx in enumerate(unique_picks):
+        trace = bench.program.interval_trace(
+            int(interval_idx), config.interval_instructions
+        )
+        vectors[j] = characterize_interval(trace, config)
+    return vectors[inverse], picks, len(unique_picks)
+
+
 def build_dataset(
     benchmarks: Sequence[Benchmark],
     config: AnalysisConfig,
     *,
     progress: Optional[Callable[[str], None]] = None,
     counts: Optional[Dict[str, int]] = None,
+    executor: Optional[Executor] = None,
 ) -> WorkloadDataset:
     """Sample and characterize intervals for the given benchmarks.
 
@@ -82,42 +106,54 @@ def build_dataset(
     benchmarks shorter than the sample size — are characterized once and
     their rows replicated.
 
+    Benchmarks are independent (each draws its randomness from its own
+    keyed stream), so they fan out across ``config.n_jobs`` workers; the
+    assembled dataset is bit-identical to a serial build for any worker
+    count or backend.
+
     Args:
         benchmarks: the workloads to include.
-        config: scale parameters.
-        progress: optional callback receiving one message per benchmark.
+        config: scale parameters, including ``n_jobs`` and
+            ``parallel_backend``.
+        progress: optional callback receiving one message per benchmark,
+            always in benchmark order.
         counts: optional per-benchmark sample-count overrides keyed by
             benchmark key (``suite/name``).  Used by the interval-
             sampling ablation to weight benchmarks by their dynamic
             length instead of equally.
+        executor: override the executor built from ``config`` (used by
+            the scaling bench to pin a backend).
 
     Returns:
         The assembled :class:`WorkloadDataset`.
     """
     if not benchmarks:
         raise ValueError("need at least one benchmark")
+    if executor is None:
+        executor = get_executor(config.parallel_backend, config.n_jobs)
+
+    def report(i: int, result) -> None:
+        if progress is not None:
+            progress(
+                f"characterized {benchmarks[i].key}: {result[2]} unique intervals"
+            )
+
+    blocks = executor.map(
+        _characterize_benchmark,
+        range(len(benchmarks)),
+        payload=(benchmarks, config, counts),
+        labels=[b.key for b in benchmarks],
+        on_result=report,
+    )
     rows: List[np.ndarray] = []
     suites: List[str] = []
     names: List[str] = []
     indices: List[int] = []
-    for bench in benchmarks:
-        n_samples = config.intervals_per_benchmark
-        if counts is not None:
-            n_samples = counts.get(bench.key, n_samples)
-        picks = sample_interval_indices(bench, n_samples, seed=config.seed)
-        unique_picks, inverse = np.unique(picks, return_inverse=True)
-        vectors = np.empty((len(unique_picks), N_FEATURES), dtype=np.float64)
-        for j, interval_idx in enumerate(unique_picks):
-            trace = bench.program.interval_trace(
-                int(interval_idx), config.interval_instructions
-            )
-            vectors[j] = characterize_interval(trace, config)
-        rows.append(vectors[inverse])
+    for bench, (block, picks, _) in zip(benchmarks, blocks):
+        rows.append(block)
         suites.extend([bench.suite] * len(picks))
         names.extend([bench.name] * len(picks))
         indices.extend(int(i) for i in picks)
-        if progress is not None:
-            progress(f"characterized {bench.key}: {len(unique_picks)} unique intervals")
     return WorkloadDataset(
         features=np.vstack(rows),
         suites=np.array(suites),

@@ -16,7 +16,7 @@ Steps 1-2 are performed by :func:`repro.core.dataset.build_dataset`;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 
@@ -71,7 +71,10 @@ def run_characterization(
 
     Args:
         dataset: output of :func:`repro.core.dataset.build_dataset`.
-        config: methodology parameters.
+        config: methodology parameters; ``config.n_jobs`` /
+            ``config.parallel_backend`` fan the k-means restarts across
+            workers without changing the result (bit-identical for a
+            fixed seed at any worker count).
         select_key: run the GA key-characteristic selection (step 5);
             disable for analyses that only need the clustering.
 
@@ -92,6 +95,8 @@ def run_characterization(
         restarts=config.kmeans_restarts,
         max_iter=config.kmeans_max_iter,
         rng=rng,
+        n_jobs=config.n_jobs,
+        backend=config.parallel_backend,
     )
     prominent = select_prominent_phases(space, clustering, config.n_prominent)
 

@@ -10,7 +10,6 @@ data set it represents.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
 
 import numpy as np
 

@@ -8,7 +8,7 @@ ILP and PPM fully vectorized.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List
 
 import numpy as np

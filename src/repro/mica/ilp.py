@@ -22,7 +22,7 @@ from typing import Dict, Sequence, Tuple
 
 import numpy as np
 
-from ..isa import NO_REG, N_REGISTERS, Trace
+from ..isa import N_REGISTERS, Trace
 
 #: The paper's four window sizes.
 WINDOW_SIZES = (32, 64, 128, 256)

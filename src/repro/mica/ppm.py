@@ -31,7 +31,7 @@ branches; history values are precomputed vectorized.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict
 
 import numpy as np
 

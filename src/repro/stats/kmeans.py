@@ -3,6 +3,13 @@
 Implements the paper's clustering step: Lloyd's algorithm from randomly
 chosen initial centers, iterated to convergence, repeated from several
 initializations, keeping the clustering with the highest BIC score.
+
+Each restart draws its initial centers from an independent seed stream
+derived once from the caller's generator (see
+:mod:`repro.parallel.seeding`), so restart *i* is the same clustering
+run whether there are 2 restarts or 50, serial or fanned out across a
+worker pool.  The best-BIC reduction breaks ties toward the lowest
+restart index, which keeps the winner deterministic too.
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..parallel import Executor, generator_from_seed, get_executor, task_seeds
 from .bic import kmeans_bic
 from .distance import distances_to
 
@@ -84,6 +92,16 @@ def _lloyd(
     return centers, labels, inertia, iteration
 
 
+def _run_restart(payload, seed: int):
+    """One independent restart (executor task body): init, Lloyd, BIC."""
+    points, k, max_iter = payload
+    rng = generator_from_seed(seed)
+    init_idx = rng.choice(len(points), size=k, replace=False)
+    centers, labels, inertia, n_iter = _lloyd(points, points[init_idx], max_iter)
+    bic = kmeans_bic(points, labels, centers)
+    return centers, labels, inertia, n_iter, bic
+
+
 def kmeans(
     points: np.ndarray,
     k: int,
@@ -91,6 +109,9 @@ def kmeans(
     restarts: int = 5,
     max_iter: int = 50,
     rng: np.random.Generator,
+    n_jobs: int = 1,
+    backend: str = "auto",
+    executor: Optional[Executor] = None,
 ) -> Clustering:
     """Cluster ``points`` into ``k`` clusters, keeping the best-BIC run.
 
@@ -99,10 +120,15 @@ def kmeans(
         k: number of clusters; clipped to ``n`` if larger.
         restarts: independent random initializations.
         max_iter: Lloyd iteration cap per restart.
-        rng: randomness for the initializations.
+        rng: randomness root; one integer is drawn from it to derive the
+            per-restart seed streams.
+        n_jobs: workers to fan the restarts across (1 = serial).
+        backend: executor backend for the fan-out.
+        executor: override the executor built from ``backend``/``n_jobs``.
 
     Returns:
-        The :class:`Clustering` with the highest BIC score.
+        The :class:`Clustering` with the highest BIC score (ties broken
+        toward the lowest restart index).
     """
     if points.ndim != 2 or len(points) == 0:
         raise ValueError("expected a non-empty 2-D matrix")
@@ -113,11 +139,18 @@ def kmeans(
     if max_iter < 1:
         raise ValueError("max_iter must be >= 1")
     k = min(k, len(points))
+    root = int(rng.integers(2**63))
+    seeds = task_seeds("km-restart", root, restarts)
+    if executor is None:
+        executor = get_executor(backend, n_jobs)
+    runs = executor.map(
+        _run_restart,
+        seeds,
+        payload=(points, k, max_iter),
+        labels=[f"restart {i}" for i in range(restarts)],
+    )
     best: Optional[Clustering] = None
-    for _ in range(restarts):
-        init_idx = rng.choice(len(points), size=k, replace=False)
-        centers, labels, inertia, n_iter = _lloyd(points, points[init_idx], max_iter)
-        bic = kmeans_bic(points, labels, centers)
+    for centers, labels, inertia, n_iter, bic in runs:
         if best is None or bic > best.bic:
             best = Clustering(
                 centers=centers,

@@ -17,13 +17,10 @@ from ..synth import (
     Phase,
     PhaseSchedule,
     branchy_kernel,
-    dsp_kernel,
-    dynprog_kernel,
     fsm_kernel,
     hashing_kernel,
     matrix_kernel,
     pointer_chase_kernel,
-    sorting_kernel,
     sparse_kernel,
     stencil_kernel,
     streaming_kernel,

@@ -23,7 +23,7 @@ Kernel modules in this package (:mod:`streaming`, :mod:`pointer_chase`,
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np

@@ -7,7 +7,7 @@ renderings in :mod:`repro.viz.ascii`.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

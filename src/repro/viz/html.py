@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import html
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional
+from typing import Iterable, List
 
 from ..core import PhaseCharacterization
 

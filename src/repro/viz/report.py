@@ -10,7 +10,7 @@ plus an axis legend.  Output is standalone SVG.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

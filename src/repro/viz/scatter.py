@@ -10,9 +10,8 @@ pockets).
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..core import PhaseCharacterization
 from .svg import PALETTE, SvgCanvas

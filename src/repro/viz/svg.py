@@ -78,10 +78,10 @@ class SvgCanvas:
         """Serialize a standalone SVG document."""
         body = "\n".join(self._elements)
         return (
-            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            '<svg xmlns="http://www.w3.org/2000/svg" '
             f'width="{self.width:.0f}" height="{self.height:.0f}" '
             f'viewBox="0 0 {self.width:.0f} {self.height:.0f}">\n'
-            f'<rect width="100%" height="100%" fill="white"/>\n'
+            '<rect width="100%" height="100%" fill="white"/>\n'
             f"{body}\n</svg>\n"
         )
 

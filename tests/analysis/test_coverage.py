@@ -1,7 +1,6 @@
 """Tests for workload-space coverage (Figure 4 analysis)."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import suite_coverage
 from repro.core import WorkloadDataset

@@ -1,6 +1,5 @@
 """Tests for generation-drift analysis."""
 
-import numpy as np
 import pytest
 
 from repro.analysis import (

@@ -6,7 +6,7 @@ import pytest
 from repro.config import AnalysisConfig
 from repro.core import WorkloadDataset, build_dataset
 from repro.mica import N_FEATURES
-from repro.suites import get_benchmark, get_suite
+from repro.suites import get_benchmark
 
 
 @pytest.fixture(scope="module")

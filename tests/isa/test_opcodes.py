@@ -1,7 +1,6 @@
 """Tests for the opcode-class vocabulary."""
 
 import numpy as np
-import pytest
 
 from repro.isa import (
     CONTROL_OPS,

@@ -1,6 +1,5 @@
 """Tests for the struct-of-arrays Trace."""
 
-import numpy as np
 import pytest
 
 from repro.isa import NO_ADDR, NO_REG, OpClass, Trace, concat

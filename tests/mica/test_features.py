@@ -1,6 +1,5 @@
 """Tests for the feature schema (Table 1 analog)."""
 
-import numpy as np
 import pytest
 
 from repro.mica import (

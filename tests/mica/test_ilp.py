@@ -1,6 +1,5 @@
 """Known-answer tests for the inherent-ILP meter."""
 
-import numpy as np
 import pytest
 
 from repro.isa import NO_REG, OpClass, Trace

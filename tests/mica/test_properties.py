@@ -10,9 +10,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.config import AnalysisConfig
-from repro.isa import NO_ADDR, NO_REG, N_REGISTERS, OpClass, Trace
+from repro.isa import NO_ADDR, N_REGISTERS, OpClass, Trace
 from repro.mica import (
-    FEATURE_INDEX,
     characterize_interval,
     feature_names,
     measure_instruction_mix,

@@ -1,0 +1,131 @@
+"""Tests for the executor backends: ordering, errors, fallback."""
+
+import pytest
+
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerError,
+    effective_n_jobs,
+    fork_available,
+    get_executor,
+)
+from repro.parallel import executor as executor_module
+
+
+def _square(payload, task):
+    return payload * task * task
+
+
+def _fail_on_three(payload, task):
+    if task == 3:
+        raise RuntimeError("kaboom")
+    return task
+
+
+ALL_BACKENDS = [
+    SerialExecutor(),
+    ThreadExecutor(n_jobs=4),
+    pytest.param(
+        ProcessExecutor(n_jobs=4),
+        marks=pytest.mark.skipif(not fork_available(), reason="no fork"),
+    ),
+]
+
+
+@pytest.mark.parametrize("ex", ALL_BACKENDS)
+def test_map_preserves_submission_order(ex):
+    assert ex.map(_square, range(20), payload=2) == [2 * i * i for i in range(20)]
+
+
+@pytest.mark.parametrize("ex", ALL_BACKENDS)
+@pytest.mark.parametrize("chunk_size", [1, 3, 50])
+def test_chunked_map_reassembles_in_order(ex, chunk_size):
+    out = ex.map(_square, range(10), payload=1, chunk_size=chunk_size)
+    assert out == [i * i for i in range(10)]
+
+
+@pytest.mark.parametrize("ex", ALL_BACKENDS)
+def test_worker_error_carries_task_label(ex):
+    labels = [f"SPECint2006/bench{i}" for i in range(6)]
+    with pytest.raises(WorkerError) as err:
+        ex.map(_fail_on_three, range(6), labels=labels)
+    assert err.value.label == "SPECint2006/bench3"
+    assert "kaboom" in str(err.value)
+    assert "RuntimeError" in err.value.details
+
+
+@pytest.mark.parametrize("ex", ALL_BACKENDS)
+def test_on_result_streams_in_order(ex):
+    seen = []
+    ex.map(_square, range(8), payload=1, on_result=lambda i, r: seen.append((i, r)))
+    assert seen == [(i, i * i) for i in range(8)]
+
+
+@pytest.mark.parametrize("ex", ALL_BACKENDS)
+def test_empty_task_list(ex):
+    assert ex.map(_square, [], payload=1) == []
+
+
+def test_map_rejects_mismatched_labels():
+    with pytest.raises(ValueError):
+        SerialExecutor().map(_square, range(3), payload=1, labels=["only-one"])
+
+
+def test_map_rejects_bad_chunk_size():
+    with pytest.raises(ValueError):
+        SerialExecutor().map(_square, range(3), payload=1, chunk_size=0)
+
+
+def test_n_jobs_one_is_always_serial():
+    for backend in ("auto", "serial", "thread", "process"):
+        assert isinstance(get_executor(backend, 1), SerialExecutor)
+
+
+def test_backend_selection():
+    assert isinstance(get_executor("serial", 8), SerialExecutor)
+    assert isinstance(get_executor("thread", 8), ThreadExecutor)
+    if fork_available():
+        assert isinstance(get_executor("process", 8), ProcessExecutor)
+        assert isinstance(get_executor("auto", 8), ProcessExecutor)
+
+
+def test_process_backend_falls_back_to_serial_without_fork(monkeypatch):
+    monkeypatch.setattr(executor_module, "fork_available", lambda: False)
+    assert isinstance(executor_module.get_executor("process", 8), SerialExecutor)
+    # "auto" degrades to threads, which still parallelize without fork.
+    assert isinstance(executor_module.get_executor("auto", 8), ThreadExecutor)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        get_executor("gpu", 2)
+
+
+def test_effective_n_jobs():
+    assert effective_n_jobs(3) == 3
+    assert effective_n_jobs(None) >= 1
+    assert effective_n_jobs(-1) == effective_n_jobs(None)
+    with pytest.raises(ValueError):
+        effective_n_jobs(0)
+    with pytest.raises(ValueError):
+        effective_n_jobs(-2)
+
+
+def test_executor_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        ThreadExecutor(n_jobs=0)
+
+
+def test_thread_results_match_serial():
+    serial = SerialExecutor().map(_square, range(50), payload=3)
+    threaded = ThreadExecutor(n_jobs=4).map(_square, range(50), payload=3, chunk_size=7)
+    assert serial == threaded
+
+
+@pytest.mark.skipif(not fork_available(), reason="no fork")
+def test_process_results_match_serial():
+    serial = SerialExecutor().map(_square, range(50), payload=3)
+    forked = ProcessExecutor(n_jobs=4).map(_square, range(50), payload=3, chunk_size=7)
+    assert serial == forked

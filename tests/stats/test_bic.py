@@ -1,7 +1,6 @@
 """Tests for the k-means BIC score."""
 
 import numpy as np
-import pytest
 
 from repro.stats import kmeans_bic
 

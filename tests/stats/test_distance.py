@@ -53,7 +53,6 @@ def test_property_metric_axioms(pts):
     assert (d >= 0).all()
     assert np.allclose(np.diag(d), 0.0)
     # Triangle inequality on a few triples.
-    n = len(pts)
     for i, j, k in [(0, 1, 2), (3, 4, 5), (0, 3, 6)]:
         assert d[i, j] <= d[i, k] + d[k, j] + 1e-6
 

@@ -41,7 +41,6 @@ def test_interval_counts_match_table3_analog():
 
 
 def test_fp_suites_are_fp_heavy():
-    cfg = CFG
     for suite, name in (("SPECfp2000", "swim"), ("SPECfp2006", "lbm")):
         b = get_benchmark(suite, name)
         trace = b.program.interval_trace(0, 2000)

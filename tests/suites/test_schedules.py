@@ -1,6 +1,5 @@
 """Structural tests over all 77 benchmark schedules."""
 
-import numpy as np
 import pytest
 
 from repro.config import AnalysisConfig

@@ -5,7 +5,6 @@ import pytest
 
 from repro.isa import NO_ADDR, NO_REG, OpClass
 from repro.synth import (
-    BiasedRandomBranch,
     BodyBuilder,
     Kernel,
     LoopBranch,

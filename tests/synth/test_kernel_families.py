@@ -5,11 +5,8 @@ its documented intent — these tests pin the domain semantics the suite
 models rely on.
 """
 
-import numpy as np
 import pytest
 
-from repro.config import AnalysisConfig
-from repro.isa import OpClass
 from repro.mica import (
     measure_branch,
     measure_footprint,
@@ -103,7 +100,6 @@ def test_stencil_mixes_short_and_row_strides():
 
 
 def test_pointer_chase_low_ilp_vs_matrix():
-    cfg = AnalysisConfig.tiny()
     chase = measure_ilp(trace_of(pointer_chase_kernel(seed=5)), sample_instructions=1000)
     dense = measure_ilp(trace_of(matrix_kernel(seed=5)), sample_instructions=1000)
     assert chase["ilp_w64"] < dense["ilp_w64"]

@@ -6,7 +6,6 @@ must hold for all of them.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -13,7 +13,6 @@ The same checks at paper scale are the benchmark harness's job.
 """
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     ClusterKind,
@@ -22,14 +21,12 @@ from repro.analysis import (
     clusters_to_cover,
     cumulative_coverage,
     group_by_kind,
-    homogeneity,
     shared_clusters,
     suite_coverage,
     suite_uniqueness,
 )
 from repro.core import build_dataset
 from repro.suites import (
-    DOMAIN_SPECIFIC_SUITES,
     SUITE_ORDER,
     all_benchmarks,
 )

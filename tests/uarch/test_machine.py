@@ -1,6 +1,5 @@
 """Tests for the trace-driven timing model."""
 
-import numpy as np
 import pytest
 
 from repro.isa import Trace
@@ -11,7 +10,7 @@ from repro.synth import (
     sorting_kernel,
     streaming_kernel,
 )
-from repro.uarch import CacheConfig, MachineConfig, SimResult, simulate
+from repro.uarch import CacheConfig, MachineConfig, simulate
 
 
 def trace_of(kernel, n=6000, tag="machine"):

@@ -1,7 +1,6 @@
 """Property-based tests for the microarchitecture substrate."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -65,7 +64,6 @@ def test_second_pass_never_misses_more(addrs):
     assert second <= len(addrs)
     # A repeated pass cannot have *compulsory* misses.
     if first == len(np.unique(addrs >> 6)):  # all first-pass misses compulsory
-        distinct = len(np.unique(addrs >> 6))
         assert second <= len(addrs) - 0  # trivially true; keep bounded
     assert cache.accesses == 2 * len(addrs)
 
