@@ -77,9 +77,17 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     except ValueError as exc:
         raise SystemExit(f"repro characterize: error: {exc}")
     benches = _select_benchmarks(args.suite)
+    feature_cache = None
+    if args.feature_cache:
+        from .io import FeatureBlockCache
+
+        feature_cache = FeatureBlockCache(args.feature_cache)
     print(f"characterizing {len(benches)} benchmarks at preset {args.preset!r}...")
     dataset = build_dataset(
-        benches, config, progress=(print if args.verbose else None)
+        benches,
+        config,
+        progress=(print if args.verbose else None),
+        feature_cache=feature_cache,
     )
     result = run_characterization(dataset, config, select_key=not args.no_ga)
     save_characterization(result, args.output)
@@ -240,6 +248,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "serial", "thread", "process"),
         default=None,
         help="executor backend for --n-jobs > 1 (default: auto)",
+    )
+    p.add_argument(
+        "--feature-cache",
+        default=None,
+        metavar="DIR",
+        help="per-benchmark feature-block cache directory; reruns only "
+        "characterize intervals no earlier run has touched",
     )
     p.set_defaults(func=_cmd_characterize)
 

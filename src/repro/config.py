@@ -133,6 +133,26 @@ class AnalysisConfig:
         """Return a copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
 
+    def featurization_key(self) -> str:
+        """A stable hash of the fields that determine one interval's vector.
+
+        This is the most granular cache key: given a benchmark and an
+        interval index, these fields alone fix the 69 measured values.
+        Sampling fields (``seed``, ``intervals_per_benchmark``) decide
+        *which* intervals are characterized, not what each one yields,
+        so they are excluded — a reseeded or resized sampling run reuses
+        every per-interval vector it has seen before.  Keys the
+        per-benchmark feature blocks
+        (:class:`repro.io.FeatureBlockCache`).
+        """
+        relevant = {
+            "interval_instructions": self.interval_instructions,
+            "ilp_sample_instructions": self.ilp_sample_instructions,
+            "ppm_sample_branches": self.ppm_sample_branches,
+        }
+        blob = json.dumps(relevant, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
     def cache_key(self) -> str:
         """A stable hash of the fields that affect the feature matrix.
 

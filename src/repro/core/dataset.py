@@ -71,23 +71,32 @@ class WorkloadDataset:
 def _characterize_benchmark(payload, index: int):
     """Sample and characterize one benchmark (executor task body).
 
-    Returns ``(feature_block, picks, n_unique)`` where the block already
-    has duplicate picks replicated, so the parent only concatenates.
+    Returns ``(feature_block, picks, n_unique, fresh)`` where the block
+    already has duplicate picks replicated (so the parent only
+    concatenates) and ``fresh`` maps the interval indices characterized
+    on this run — not served from a feature block — to their vectors.
     """
-    benchmarks, config, counts = payload
+    benchmarks, config, counts, cached_blocks = payload
     bench = benchmarks[index]
     n_samples = config.intervals_per_benchmark
     if counts is not None:
         n_samples = counts.get(bench.key, n_samples)
     picks = sample_interval_indices(bench, n_samples, seed=config.seed)
     unique_picks, inverse = np.unique(picks, return_inverse=True)
+    cached = cached_blocks.get(bench.key) if cached_blocks else None
     vectors = np.empty((len(unique_picks), N_FEATURES), dtype=np.float64)
+    fresh = {}
     for j, interval_idx in enumerate(unique_picks):
-        trace = bench.program.interval_trace(
-            int(interval_idx), config.interval_instructions
-        )
-        vectors[j] = characterize_interval(trace, config)
-    return vectors[inverse], picks, len(unique_picks)
+        interval_idx = int(interval_idx)
+        vec = cached.get(interval_idx) if cached else None
+        if vec is None:
+            trace = bench.program.interval_trace(
+                interval_idx, config.interval_instructions
+            )
+            vec = characterize_interval(trace, config)
+            fresh[interval_idx] = vec
+        vectors[j] = vec
+    return vectors[inverse], picks, len(unique_picks), fresh
 
 
 def build_dataset(
@@ -97,6 +106,7 @@ def build_dataset(
     progress: Optional[Callable[[str], None]] = None,
     counts: Optional[Dict[str, int]] = None,
     executor: Optional[Executor] = None,
+    feature_cache=None,
 ) -> WorkloadDataset:
     """Sample and characterize intervals for the given benchmarks.
 
@@ -123,6 +133,11 @@ def build_dataset(
             length instead of equally.
         executor: override the executor built from ``config`` (used by
             the scaling bench to pin a backend).
+        feature_cache: optional
+            :class:`~repro.io.FeatureBlockCache`.  Cached per-interval
+            vectors are loaded before dispatch (workers inherit them via
+            the payload), only uncached intervals are characterized, and
+            newly computed vectors are merged back into the blocks.
 
     Returns:
         The assembled :class:`WorkloadDataset`.
@@ -131,17 +146,24 @@ def build_dataset(
         raise ValueError("need at least one benchmark")
     if executor is None:
         executor = get_executor(config.parallel_backend, config.n_jobs)
+    cached_blocks = None
+    if feature_cache is not None:
+        cached_blocks = {
+            b.key: feature_cache.load(b.key, config) for b in benchmarks
+        }
 
     def report(i: int, result) -> None:
         if progress is not None:
+            n_unique, fresh = result[2], result[3]
             progress(
-                f"characterized {benchmarks[i].key}: {result[2]} unique intervals"
+                f"characterized {benchmarks[i].key}: {n_unique} unique intervals"
+                f" ({len(fresh)} computed)"
             )
 
     blocks = executor.map(
         _characterize_benchmark,
         range(len(benchmarks)),
-        payload=(benchmarks, config, counts),
+        payload=(benchmarks, config, counts, cached_blocks),
         labels=[b.key for b in benchmarks],
         on_result=report,
     )
@@ -149,7 +171,9 @@ def build_dataset(
     suites: List[str] = []
     names: List[str] = []
     indices: List[int] = []
-    for bench, (block, picks, _) in zip(benchmarks, blocks):
+    for bench, (block, picks, _, fresh) in zip(benchmarks, blocks):
+        if feature_cache is not None and fresh:
+            feature_cache.store(bench.key, config, fresh)
         rows.append(block)
         suites.extend([bench.suite] * len(picks))
         names.extend([bench.name] * len(picks))

@@ -5,13 +5,17 @@ from .cache import (
     cached_dataset,
     characterization_cache_path,
     dataset_cache_path,
+    feature_block_dir,
 )
+from .feature_blocks import FeatureBlockCache
 from .tables import format_table
 
 __all__ = [
+    "FeatureBlockCache",
     "cached_characterization",
     "cached_dataset",
     "characterization_cache_path",
     "dataset_cache_path",
+    "feature_block_dir",
     "format_table",
 ]

@@ -22,6 +22,7 @@ from ..core import (
     save_dataset,
 )
 from ..suites import Benchmark, all_benchmarks
+from .feature_blocks import FeatureBlockCache
 
 PathLike = Union[str, Path]
 
@@ -31,6 +32,11 @@ def dataset_cache_path(cache_dir: PathLike, config: AnalysisConfig, *, tag: str 
     return Path(cache_dir) / f"dataset_{tag}_{config.cache_key()}.npz"
 
 
+def feature_block_dir(cache_dir: PathLike) -> Path:
+    """Where a cache directory keeps its per-benchmark feature blocks."""
+    return Path(cache_dir) / "feature_blocks"
+
+
 def cached_dataset(
     config: AnalysisConfig,
     cache_dir: PathLike,
@@ -38,8 +44,14 @@ def cached_dataset(
     benchmarks: Optional[Sequence[Benchmark]] = None,
     tag: str = "all",
     progress: Optional[Callable[[str], None]] = None,
+    use_feature_blocks: bool = True,
 ) -> WorkloadDataset:
     """Load the dataset for ``config`` from cache, building on a miss.
+
+    A miss composes the granular layer: per-benchmark feature blocks
+    under ``cache_dir/feature_blocks`` supply every already-characterized
+    interval, so a new sampling configuration only pays for intervals no
+    earlier run has touched.
 
     Args:
         config: the featurization configuration (its
@@ -49,13 +61,20 @@ def cached_dataset(
         tag: distinguishes non-default benchmark selections sharing a
             cache directory.
         progress: optional per-benchmark progress callback.
+        use_feature_blocks: compose the per-benchmark feature-block
+            layer on a dataset-cache miss.
     """
     path = dataset_cache_path(cache_dir, config, tag=tag)
     if path.exists():
         return load_dataset(path)
     if benchmarks is None:
         benchmarks = all_benchmarks()
-    dataset = build_dataset(benchmarks, config, progress=progress)
+    feature_cache = (
+        FeatureBlockCache(feature_block_dir(cache_dir)) if use_feature_blocks else None
+    )
+    dataset = build_dataset(
+        benchmarks, config, progress=progress, feature_cache=feature_cache
+    )
     path.parent.mkdir(parents=True, exist_ok=True)
     save_dataset(dataset, path)
     return dataset

@@ -1,0 +1,90 @@
+"""Granular per-benchmark feature-block cache.
+
+The dataset cache in :mod:`repro.io.cache` is whole-run: any change to
+the sampling configuration misses and re-featurizes all benchmarks.
+Feature blocks cache at the finest level that is still config-stable —
+one **(benchmark, interval index) -> 69-vector** entry, keyed by
+:meth:`AnalysisConfig.featurization_key` (the subset of the config that
+determines a single interval's vector).  Runs that vary analysis-side
+parameters, the sampling seed, or the interval count therefore reuse
+every interval they have characterized before and compute only the
+genuinely new ones.
+
+Layout: one ``.npz`` per benchmark per featurization key, holding the
+sorted interval indices and the matching vector rows.  Blocks are
+grow-only; :meth:`FeatureBlockCache.store` merges new entries with
+whatever is already on disk and replaces the file atomically, so
+concurrent runs at worst redo work, never corrupt a block.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+import numpy as np
+
+from ..config import AnalysisConfig
+from ..mica import N_FEATURES
+
+PathLike = Union[str, Path]
+
+
+class FeatureBlockCache:
+    """Per-benchmark, per-interval feature vectors on disk."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+
+    def path(self, benchmark_key: str, config: AnalysisConfig) -> Path:
+        """The block file for one benchmark under one featurization key."""
+        safe = benchmark_key.replace("/", "__")
+        return self.root / f"block_{safe}_{config.featurization_key()}.npz"
+
+    def load(self, benchmark_key: str, config: AnalysisConfig) -> Dict[int, np.ndarray]:
+        """Load a benchmark's cached vectors as ``{interval_index: vector}``.
+
+        Returns an empty dict on a miss; a corrupt or truncated block is
+        treated as a miss (it will be rewritten on the next store).
+        """
+        path = self.path(benchmark_key, config)
+        if not path.exists():
+            return {}
+        try:
+            with np.load(path) as data:
+                indices = data["indices"]
+                vectors = data["vectors"]
+        except (OSError, ValueError, KeyError):
+            return {}
+        if vectors.ndim != 2 or vectors.shape != (len(indices), N_FEATURES):
+            return {}
+        return {int(idx): vectors[j] for j, idx in enumerate(indices)}
+
+    def store(
+        self,
+        benchmark_key: str,
+        config: AnalysisConfig,
+        entries: Mapping[int, np.ndarray],
+    ) -> None:
+        """Merge newly characterized vectors into the benchmark's block."""
+        if not entries:
+            return
+        merged = self.load(benchmark_key, config)
+        merged.update({int(k): np.asarray(v, dtype=np.float64) for k, v in entries.items()})
+        indices = np.array(sorted(merged), dtype=np.int64)
+        vectors = np.vstack([merged[int(i)] for i in indices])
+        path = self.path(benchmark_key, config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".npz.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez_compressed(handle, indices=indices, vectors=vectors)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise

@@ -24,8 +24,16 @@ from .features import (
     feature_vector,
     features_in_category,
 )
+from ._dispatch import REFERENCE_METERS_ENV, reference_meters_enabled
 from .footprint import measure_footprint
-from .ilp import WINDOW_SIZES, measure_ilp, producer_indices
+from .ilp import (
+    WINDOW_SIZES,
+    measure_ilp,
+    measure_ilp_kernel,
+    measure_ilp_reference,
+    producer_indices,
+    producer_indices_reference,
+)
 from .instruction_mix import measure_instruction_mix
 from .meter import characterize_interval
 from .ppm import (
@@ -34,7 +42,10 @@ from .ppm import (
     global_histories,
     local_histories,
     measure_ppm,
+    measure_ppm_kernel,
+    measure_ppm_reference,
 )
+from .profile import IntervalProfile, match_producers
 from .register_traffic import DEP_DISTANCE_BUCKETS, measure_register_traffic
 from .strides import GLOBAL_BUCKETS, LOCAL_BUCKETS, measure_strides
 
@@ -52,8 +63,10 @@ __all__ = [
     "FEATURE_INDEX",
     "Feature",
     "GLOBAL_BUCKETS",
+    "IntervalProfile",
     "LOCAL_BUCKETS",
     "N_FEATURES",
+    "REFERENCE_METERS_ENV",
     "REPORTED_LENGTHS",
     "TRACKED_LENGTHS",
     "WINDOW_SIZES",
@@ -63,13 +76,20 @@ __all__ = [
     "features_in_category",
     "global_histories",
     "local_histories",
+    "match_producers",
     "measure_branch",
     "measure_footprint",
     "measure_ilp",
+    "measure_ilp_kernel",
+    "measure_ilp_reference",
     "measure_instruction_mix",
     "measure_ppm",
+    "measure_ppm_kernel",
+    "measure_ppm_reference",
     "measure_register_traffic",
     "measure_strides",
     "producer_indices",
+    "producer_indices_reference",
+    "reference_meters_enabled",
     "transition_rate",
 ]

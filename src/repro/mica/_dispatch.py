@@ -1,0 +1,22 @@
+"""Kernel/reference meter dispatch.
+
+The vectorized PPM and ILP kernels are bit-identical to the original
+sequential implementations (test-enforced), so which one runs is purely
+an execution concern — like ``n_jobs`` — and never participates in
+cache keys.  Setting the environment variable ``REPRO_REFERENCE_METERS``
+to a non-empty value other than ``0`` routes ``measure_ppm`` and
+``measure_ilp`` through the retained reference scans; useful for
+debugging a suspected kernel issue or cross-checking on a new platform.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the reference meter implementations.
+REFERENCE_METERS_ENV = "REPRO_REFERENCE_METERS"
+
+
+def reference_meters_enabled() -> bool:
+    """True when the sequential reference meters are requested."""
+    return os.environ.get(REFERENCE_METERS_ENV, "") not in ("", "0")

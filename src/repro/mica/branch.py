@@ -2,12 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..isa import OpClass, Trace
 from .ppm import measure_ppm
+from .profile import IntervalProfile
 
 
 def transition_rate(pcs: np.ndarray, outcomes: np.ndarray) -> float:
@@ -30,17 +31,26 @@ def transition_rate(pcs: np.ndarray, outcomes: np.ndarray) -> float:
     return float(np.count_nonzero(changed & same)) / pairs
 
 
-def measure_branch(trace: Trace, *, sample_branches: int = 1_000) -> Dict[str, float]:
+def measure_branch(
+    trace: Trace,
+    *,
+    sample_branches: int = 1_000,
+    profile: Optional[IntervalProfile] = None,
+) -> Dict[str, float]:
     """Return the 14 branch-predictability features for an interval.
 
     Taken/transition rates use every conditional branch in the interval;
-    the PPM pass (sequential) uses the first ``sample_branches`` of them.
+    the PPM pass uses the first ``sample_branches`` of them.
     """
     if len(trace) == 0:
         raise ValueError("cannot characterize an empty trace")
-    mask = trace.op == OpClass.BRANCH
-    pcs = trace.pc[mask]
-    outcomes = trace.taken[mask]
+    if profile is not None:
+        pcs = profile.branch_pcs
+        outcomes = profile.branch_taken
+    else:
+        mask = trace.op == OpClass.BRANCH
+        pcs = trace.pc[mask]
+        outcomes = trace.taken[mask]
     out: Dict[str, float] = {
         "br_taken_rate": float(outcomes.mean()) if len(outcomes) else 0.0,
         "br_transition_rate": transition_rate(pcs, outcomes),

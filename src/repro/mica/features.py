@@ -181,16 +181,40 @@ def features_in_category(category: str) -> List[str]:
     return [f.name for f in FEATURES if f.category == category]
 
 
+#: Memoized destination-index permutations, keyed by the exact key
+#: order of the incoming mapping.  The meters always produce the same
+#: key order, so assembly reduces to one fancy-index store.
+_ASSEMBLY_PERMUTATIONS: Dict[tuple, np.ndarray] = {}
+
+
+def _assembly_permutation(names: tuple) -> np.ndarray:
+    extra = set(names) - set(FEATURE_INDEX)
+    if extra:
+        raise ValueError(f"unknown feature names: {sorted(extra)}")
+    if len(names) < N_FEATURES:
+        present = set(names)
+        for name in FEATURE_INDEX:
+            if name not in present:
+                raise KeyError(name)
+    if len(_ASSEMBLY_PERMUTATIONS) > 64:
+        _ASSEMBLY_PERMUTATIONS.clear()
+    perm = np.array([FEATURE_INDEX[name] for name in names], dtype=np.intp)
+    _ASSEMBLY_PERMUTATIONS[names] = perm
+    return perm
+
+
 def feature_vector(values: Mapping[str, float]) -> np.ndarray:
     """Assemble a canonical 69-element vector from named values.
 
     Raises ``KeyError`` if any feature is missing and ``ValueError`` on
-    extra keys, so meters cannot silently drift from the schema.
+    extra keys, so meters cannot silently drift from the schema.  The
+    fill is a single vectorized permuted store; the permutation for a
+    given key order is computed once and memoized.
     """
-    extra = set(values) - set(FEATURE_INDEX)
-    if extra:
-        raise ValueError(f"unknown feature names: {sorted(extra)}")
+    names = tuple(values)
+    perm = _ASSEMBLY_PERMUTATIONS.get(names)
+    if perm is None:
+        perm = _assembly_permutation(names)
     vec = np.empty(N_FEATURES, dtype=np.float64)
-    for name, idx in FEATURE_INDEX.items():
-        vec[idx] = values[name]
+    vec[perm] = np.fromiter(values.values(), dtype=np.float64, count=len(perm))
     return vec

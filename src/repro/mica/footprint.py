@@ -10,11 +10,12 @@ dominated by the largest-footprint intervals.
 from __future__ import annotations
 
 import math
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..isa import Trace, is_memory_op
+from .profile import IntervalProfile
 
 BLOCK_SHIFT = 6  # 64-byte blocks
 PAGE_SHIFT = 12  # 4KB pages
@@ -27,11 +28,13 @@ def _log_unique(addresses: np.ndarray, shift: int) -> float:
     return math.log2(1 + count)
 
 
-def measure_footprint(trace: Trace) -> Dict[str, float]:
+def measure_footprint(
+    trace: Trace, *, profile: Optional[IntervalProfile] = None
+) -> Dict[str, float]:
     """Return the 4 memory-footprint features for a trace interval."""
     if len(trace) == 0:
         raise ValueError("cannot characterize an empty trace")
-    data_addr = trace.addr[is_memory_op(trace.op)]
+    data_addr = profile.mem_addrs if profile is not None else trace.addr[is_memory_op(trace.op)]
     return {
         "foot_instr_64b": _log_unique(trace.pc, BLOCK_SHIFT),
         "foot_instr_4k": _log_unique(trace.pc, PAGE_SHIFT),

@@ -2,14 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from ..isa import N_OP_CLASSES, OpClass, Trace
+from .profile import IntervalProfile
 
 
-def measure_instruction_mix(trace: Trace) -> Dict[str, float]:
+def measure_instruction_mix(
+    trace: Trace, *, profile: Optional[IntervalProfile] = None
+) -> Dict[str, float]:
     """Return the 20 instruction-mix features for a trace interval.
 
     All values are fractions of the dynamic instruction count, so they
@@ -18,7 +21,10 @@ def measure_instruction_mix(trace: Trace) -> Dict[str, float]:
     n = len(trace)
     if n == 0:
         raise ValueError("cannot characterize an empty trace")
-    counts = np.bincount(trace.op, minlength=N_OP_CLASSES).astype(np.float64)
+    if profile is not None:
+        counts = profile.op_counts.astype(np.float64)
+    else:
+        counts = np.bincount(trace.op, minlength=N_OP_CLASSES).astype(np.float64)
     frac = counts / n
 
     def f(op: OpClass) -> float:

@@ -1,0 +1,136 @@
+"""Shared per-interval trace facts: the :class:`IntervalProfile`.
+
+Several MICA meters need the same derived views of a trace interval —
+the memory-operation mask, the conditional-branch stream, the per-kind
+load/store address streams, and the register producer of every source
+operand.  Before this module existed each meter re-derived its views
+from the raw :class:`~repro.isa.Trace`; the ILP and register-traffic
+meters even ran the *same* read-to-write matching twice per interval.
+
+:func:`IntervalProfile.from_trace` computes every shared fact exactly
+once; :func:`~repro.mica.meter.characterize_interval` threads the
+profile through all six meters.  Every meter still accepts a bare trace
+(``profile=None``) and derives its own views, so direct calls and unit
+tests need no ceremony.
+
+The producer matching here is the batched formulation: instead of one
+``searchsorted`` per architectural register (64 passes), writes are
+encoded as composite ``(register << shift) | position`` keys, sorted
+once, and all reads of both source slots resolve through a single
+``searchsorted``.  Sorting the composite key is equivalent to a lexsort
+by ``(register, position)``, so for each read the predecessor key with
+the same register part is exactly the latest earlier write of that
+register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..isa import NO_REG, N_OP_CLASSES, OpClass, Trace, is_memory_op
+
+
+def match_producers(trace: Trace) -> Tuple[np.ndarray, np.ndarray]:
+    """For each instruction, the trace index that produced each source.
+
+    Returns two int64 arrays ``(p1, p2)`` parallel to the trace; entry
+    ``-1`` means the source operand is absent or its producing write
+    precedes the interval.  Single-sort batched equivalent of the
+    per-register ``searchsorted`` loop.
+
+    Producers of instruction ``i`` always satisfy ``p < i``, so the
+    arrays for any prefix ``trace[:m]`` are exactly ``p1[:m], p2[:m]``
+    — which is what lets one full-interval matching serve both the
+    register-traffic meter (whole interval) and the ILP meter (leading
+    subsample).
+    """
+    n = len(trace)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    shift = max(1, int(n - 1).bit_length())
+    positions = np.arange(n, dtype=np.int64)
+    wmask = trace.dst != NO_REG
+    if not wmask.any():
+        missing = np.full(n, -1, dtype=np.int64)
+        return missing, missing.copy()
+    wkey = (trace.dst[wmask].astype(np.int64) << shift) | positions[wmask]
+    wkey.sort()
+    srcs = np.concatenate([trace.src1, trace.src2]).astype(np.int64)
+    rpos = np.concatenate([positions, positions])
+    rmask = srcs != NO_REG
+    rkey = (srcs[rmask] << shift) | rpos[rmask]
+    idx = np.searchsorted(wkey, rkey, side="left") - 1
+    cand = wkey.take(np.maximum(idx, 0))
+    matched = (idx >= 0) & ((cand >> shift) == srcs[rmask])
+    producers = np.full(2 * n, -1, dtype=np.int64)
+    slots = np.flatnonzero(rmask)[matched]
+    producers[slots] = cand[matched] & ((np.int64(1) << shift) - 1)
+    return producers[:n], producers[n:]
+
+
+@dataclass(frozen=True)
+class IntervalProfile:
+    """Derived views of one trace interval, computed once, shared by meters.
+
+    Attributes:
+        n: interval length in instructions.
+        op_counts: dynamic count per opcode class (``N_OP_CLASSES``,).
+        mem_addrs: effective addresses of the memory operations, in
+            program order.
+        load_addrs / load_pcs: address and PC streams of the loads.
+        store_addrs / store_pcs: address and PC streams of the stores.
+        branch_pcs / branch_taken: PC and outcome streams of the
+            conditional branches.
+        producers: ``(p1, p2)`` full-interval producer indices from
+            :func:`match_producers`.
+        n_register_reads: source operands naming a register.
+        n_register_writes: instructions writing a register.
+    """
+
+    n: int
+    op_counts: np.ndarray
+    mem_addrs: np.ndarray
+    load_addrs: np.ndarray
+    load_pcs: np.ndarray
+    store_addrs: np.ndarray
+    store_pcs: np.ndarray
+    branch_pcs: np.ndarray
+    branch_taken: np.ndarray
+    producers: Tuple[np.ndarray, np.ndarray]
+    n_register_reads: int
+    n_register_writes: int
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "IntervalProfile":
+        """Compute the shared facts for one interval."""
+        n = len(trace)
+        if n == 0:
+            raise ValueError("cannot profile an empty trace")
+        op = trace.op
+        op_counts = np.bincount(op, minlength=N_OP_CLASSES)
+        load_mask = op == OpClass.LOAD
+        store_mask = op == OpClass.STORE
+        branch_mask = op == OpClass.BRANCH
+        mem_mask = is_memory_op(op)
+        n_register_reads = int(np.count_nonzero(trace.src1 != NO_REG)) + int(
+            np.count_nonzero(trace.src2 != NO_REG)
+        )
+        n_register_writes = int(np.count_nonzero(trace.dst != NO_REG))
+        return cls(
+            n=n,
+            op_counts=op_counts,
+            mem_addrs=trace.addr[mem_mask],
+            load_addrs=trace.addr[load_mask],
+            load_pcs=trace.pc[load_mask],
+            store_addrs=trace.addr[store_mask],
+            store_pcs=trace.pc[store_mask],
+            branch_pcs=trace.pc[branch_mask],
+            branch_taken=trace.taken[branch_mask],
+            producers=match_producers(trace),
+            n_register_reads=n_register_reads,
+            n_register_writes=n_register_writes,
+        )

@@ -9,62 +9,67 @@ Measures three inherent register-usage properties:
   instructions between the production of a register instance and each
   of its consumptions, reported as cumulative probabilities.
 
-Fully vectorized: reads are matched to their producing writes per
-register with ``searchsorted``.
+Reads are matched to their producing writes by the batched single-sort
+matching in :mod:`repro.mica.profile`; when the caller supplies an
+:class:`~repro.mica.profile.IntervalProfile`, the matching is shared
+with the ILP meter instead of being recomputed.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..isa import NO_REG, N_REGISTERS, Trace
+from ..isa import NO_REG, Trace
+from .profile import IntervalProfile, match_producers
 
 #: Cumulative dependency-distance buckets (instructions).
 DEP_DISTANCE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
 
 
-def _matched_read_distances(trace: Trace) -> Tuple[np.ndarray, int]:
+def _matched_read_distances(
+    producers: Tuple[np.ndarray, np.ndarray],
+) -> Tuple[np.ndarray, int]:
     """Distances from each matched register read to its producer.
 
     Returns ``(distances, n_matched_reads)``.  Reads whose producer
     precedes the interval are unmatched and excluded — consistent with
     per-interval characterization.
     """
-    n = len(trace)
+    p1, p2 = producers
+    n = len(p1)
     positions = np.arange(n, dtype=np.int64)
-    dst = trace.dst
-    distances = []
-    for reg in range(N_REGISTERS):
-        writes = positions[dst == reg]
-        if len(writes) == 0:
-            continue
-        for src in (trace.src1, trace.src2):
-            reads = positions[src == reg]
-            if len(reads) == 0:
-                continue
-            idx = np.searchsorted(writes, reads, side="left") - 1
-            valid = idx >= 0
-            if valid.any():
-                distances.append(reads[valid] - writes[idx[valid]])
-    if distances:
-        all_d = np.concatenate(distances)
+    parts = []
+    for p in (p1, p2):
+        matched = p >= 0
+        if matched.any():
+            parts.append(positions[matched] - p[matched])
+    if parts:
+        all_d = np.concatenate(parts)
     else:
         all_d = np.empty(0, dtype=np.int64)
     return all_d, len(all_d)
 
 
-def measure_register_traffic(trace: Trace) -> Dict[str, float]:
+def measure_register_traffic(
+    trace: Trace, *, profile: Optional[IntervalProfile] = None
+) -> Dict[str, float]:
     """Return the 9 register-traffic features for a trace interval."""
     n = len(trace)
     if n == 0:
         raise ValueError("cannot characterize an empty trace")
-    n_inputs = int(np.count_nonzero(trace.src1 != NO_REG)) + int(
-        np.count_nonzero(trace.src2 != NO_REG)
-    )
-    n_writes = int(np.count_nonzero(trace.dst != NO_REG))
-    distances, n_matched = _matched_read_distances(trace)
+    if profile is not None:
+        n_inputs = profile.n_register_reads
+        n_writes = profile.n_register_writes
+        producers = profile.producers
+    else:
+        n_inputs = int(np.count_nonzero(trace.src1 != NO_REG)) + int(
+            np.count_nonzero(trace.src2 != NO_REG)
+        )
+        n_writes = int(np.count_nonzero(trace.dst != NO_REG))
+        producers = match_producers(trace)
+    distances, n_matched = _matched_read_distances(producers)
     out: Dict[str, float] = {
         "reg_avg_input_operands": n_inputs / n,
         "reg_avg_degree_use": (n_matched / n_writes) if n_writes else 0.0,

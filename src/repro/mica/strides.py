@@ -15,11 +15,12 @@ Each distribution is summarized as cumulative probabilities
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..isa import OpClass, Trace
+from .profile import IntervalProfile
 
 GLOBAL_BUCKETS = (0, 64, 4096, 262144)
 LOCAL_BUCKETS = (0, 8, 64, 512, 4096)
@@ -51,15 +52,21 @@ def _local_strides(pc: np.ndarray, addr: np.ndarray) -> np.ndarray:
     return diffs[same_pc]
 
 
-def measure_strides(trace: Trace) -> Dict[str, float]:
+def measure_strides(
+    trace: Trace, *, profile: Optional[IntervalProfile] = None
+) -> Dict[str, float]:
     """Return the 18 stride features for a trace interval."""
     if len(trace) == 0:
         raise ValueError("cannot characterize an empty trace")
     out: Dict[str, float] = {}
     for kind, op in (("l", OpClass.LOAD), ("s", OpClass.STORE)):
-        mask = trace.op == op
-        addr = trace.addr[mask]
-        pc = trace.pc[mask]
+        if profile is not None:
+            addr = profile.load_addrs if op == OpClass.LOAD else profile.store_addrs
+            pc = profile.load_pcs if op == OpClass.LOAD else profile.store_pcs
+        else:
+            mask = trace.op == op
+            addr = trace.addr[mask]
+            pc = trace.pc[mask]
         for b, p in _cumulative(_global_strides(addr), GLOBAL_BUCKETS).items():
             out[f"stride_g{kind}_le{b}"] = p
         for b, p in _cumulative(_local_strides(pc, addr), LOCAL_BUCKETS).items():

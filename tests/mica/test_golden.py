@@ -1,0 +1,73 @@
+"""Golden-vector regression tests.
+
+``tests/data/golden_vectors.npz`` pins the full 69-feature vector of six
+fixed benchmark intervals, captured from the original sequential meter
+implementations before the vectorized kernels landed.  Any change that
+shifts a single bit of any characteristic fails here.
+
+Regenerate (only when an intentional semantic change is made) by
+re-running ``characterize_interval`` for the stored labels at the stored
+subsample sizes and saving the same arrays.
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.mica import REFERENCE_METERS_ENV, characterize_interval, feature_names
+from repro.suites import all_benchmarks
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_vectors.npz"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    with np.load(GOLDEN_PATH) as data:
+        return {
+            "labels": [str(label) for label in data["labels"]],
+            "vectors": data["vectors"],
+            "feature_names": [str(n) for n in data["feature_names"]],
+            "config": AnalysisConfig(
+                interval_instructions=int(data["interval_instructions"]),
+                ilp_sample_instructions=int(data["ilp_sample_instructions"]),
+                ppm_sample_branches=int(data["ppm_sample_branches"]),
+            ),
+        }
+
+
+def _recompute(golden):
+    by_key = {b.key: b for b in all_benchmarks()}
+    config = golden["config"]
+    rows = []
+    for label in golden["labels"]:
+        key, idx = label.rsplit("@", 1)
+        trace = by_key[key].program.interval_trace(
+            int(idx), config.interval_instructions
+        )
+        rows.append(characterize_interval(trace, config))
+    return np.vstack(rows)
+
+
+def test_feature_schema_unchanged(golden):
+    assert golden["feature_names"] == feature_names()
+    assert golden["vectors"].shape == (len(golden["labels"]), len(feature_names()))
+
+
+def test_golden_vectors_bit_identical(golden):
+    got = _recompute(golden)
+    mismatch = got != golden["vectors"]
+    if mismatch.any():
+        names = feature_names()
+        rows, cols = np.nonzero(mismatch)
+        detail = ", ".join(
+            f"{golden['labels'][r]}:{names[c]}" for r, c in zip(rows[:5], cols[:5])
+        )
+        raise AssertionError(f"golden vectors drifted at {detail}")
+
+
+def test_golden_vectors_match_reference_meters(golden, monkeypatch):
+    monkeypatch.setenv(REFERENCE_METERS_ENV, "1")
+    got = _recompute(golden)
+    assert np.array_equal(got, golden["vectors"])

@@ -1,0 +1,85 @@
+"""IntervalProfile: shared trace facts equal the per-meter derivations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.config import AnalysisConfig
+from repro.isa import NO_REG, OpClass, is_memory_op
+from repro.mica import (
+    IntervalProfile,
+    characterize_interval,
+    match_producers,
+    measure_branch,
+    measure_footprint,
+    measure_instruction_mix,
+    measure_register_traffic,
+    measure_strides,
+)
+from tests.mica.test_properties import random_traces
+
+SETTINGS = dict(max_examples=25, deadline=None)
+CFG = AnalysisConfig.tiny()
+
+
+@settings(**SETTINGS)
+@given(random_traces())
+def test_profile_views_match_trace(trace):
+    profile = IntervalProfile.from_trace(trace)
+    assert profile.n == len(trace)
+    assert np.array_equal(profile.mem_addrs, trace.addr[is_memory_op(trace.op)])
+    loads = trace.op == OpClass.LOAD
+    assert np.array_equal(profile.load_addrs, trace.addr[loads])
+    assert np.array_equal(profile.load_pcs, trace.pc[loads])
+    branches = trace.op == OpClass.BRANCH
+    assert np.array_equal(profile.branch_pcs, trace.pc[branches])
+    assert np.array_equal(profile.branch_taken, trace.taken[branches])
+    assert profile.n_register_reads == int(
+        np.count_nonzero(trace.src1 != NO_REG) + np.count_nonzero(trace.src2 != NO_REG)
+    )
+    assert profile.n_register_writes == int(np.count_nonzero(trace.dst != NO_REG))
+    p1, p2 = match_producers(trace)
+    assert np.array_equal(profile.producers[0], p1)
+    assert np.array_equal(profile.producers[1], p2)
+    assert int(profile.op_counts.sum()) == len(trace)
+
+
+@settings(**SETTINGS)
+@given(random_traces())
+def test_meters_identical_with_and_without_profile(trace):
+    profile = IntervalProfile.from_trace(trace)
+    assert measure_instruction_mix(trace) == measure_instruction_mix(
+        trace, profile=profile
+    )
+    assert measure_footprint(trace) == measure_footprint(trace, profile=profile)
+    assert measure_strides(trace) == measure_strides(trace, profile=profile)
+    assert measure_register_traffic(trace) == measure_register_traffic(
+        trace, profile=profile
+    )
+    assert measure_branch(trace, sample_branches=50) == measure_branch(
+        trace, sample_branches=50, profile=profile
+    )
+
+
+@settings(**SETTINGS)
+@given(random_traces())
+def test_characterize_interval_deterministic_through_profile(trace):
+    a = characterize_interval(trace, CFG)
+    b = characterize_interval(trace, CFG)
+    assert np.array_equal(a, b)
+
+
+def test_profile_rejects_empty_trace(make_empty=None):
+    from repro.isa import Trace
+
+    empty = Trace(
+        op=np.empty(0, dtype=np.uint8),
+        src1=np.empty(0, dtype=np.int16),
+        src2=np.empty(0, dtype=np.int16),
+        dst=np.empty(0, dtype=np.int16),
+        addr=np.empty(0, dtype=np.int64),
+        pc=np.empty(0, dtype=np.int64),
+        taken=np.empty(0, dtype=bool),
+    )
+    with pytest.raises(ValueError):
+        IntervalProfile.from_trace(empty)
