@@ -68,28 +68,47 @@ class ClusterComposition:
         return sorted(shares, key=lambda kv: kv[1], reverse=True)
 
 
+def _ordered_counts(codes: np.ndarray, names: np.ndarray) -> Dict[str, int]:
+    """``{name: count}`` for integer ``codes``, keys in first-occurrence
+    order (matching dict insertion by ascending row, which
+    :meth:`ClusterComposition.pie_shares` relies on for tie-breaking)."""
+    uniq, first, counts = np.unique(codes, return_index=True, return_counts=True)
+    order = np.argsort(first, kind="stable")
+    return {
+        str(names[c]): int(cnt) for c, cnt in zip(uniq[order], counts[order])
+    }
+
+
 def cluster_compositions(
     dataset: WorkloadDataset, clustering: Clustering
 ) -> List[ClusterComposition]:
-    """Composition of every non-empty cluster, by cluster id."""
-    keys = dataset.benchmark_keys
-    suites = dataset.suites
+    """Composition of every non-empty cluster, by cluster id.
+
+    One stable sort groups rows by cluster; per-cluster benchmark and
+    suite tallies are ``np.unique`` counts over precomputed integer
+    codes instead of per-row Python dict updates.
+    """
     n = len(dataset)
-    bench_totals: Dict[str, int] = {}
-    for key in keys:
-        bench_totals[key] = bench_totals.get(key, 0) + 1
+    key_names, key_codes = np.unique(
+        np.asarray(dataset.benchmark_keys), return_inverse=True
+    )
+    suite_names, suite_codes = np.unique(
+        np.asarray([str(s) for s in dataset.suites]), return_inverse=True
+    )
+    bench_totals = np.bincount(key_codes, minlength=len(key_names))
+    totals = {str(k): int(t) for k, t in zip(key_names, bench_totals)}
+    order = np.argsort(clustering.labels, kind="stable")
+    starts = np.searchsorted(
+        clustering.labels[order], np.arange(clustering.k + 1)
+    )
     out: List[ClusterComposition] = []
     for cluster in range(clustering.k):
-        rows = np.flatnonzero(clustering.labels == cluster)
+        rows = order[starts[cluster] : starts[cluster + 1]]
         if len(rows) == 0:
             continue
-        bc: Dict[str, int] = {}
-        sc: Dict[str, int] = {}
-        for r in rows:
-            bc[keys[r]] = bc.get(keys[r], 0) + 1
-            s = str(suites[r])
-            sc[s] = sc.get(s, 0) + 1
-        frac = {key: count / bench_totals[key] for key, count in bc.items()}
+        bc = _ordered_counts(key_codes[rows], key_names)
+        sc = _ordered_counts(suite_codes[rows], suite_names)
+        frac = {key: count / totals[key] for key, count in bc.items()}
         out.append(
             ClusterComposition(
                 cluster_id=cluster,

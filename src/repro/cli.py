@@ -74,6 +74,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             config = config.replace(n_jobs=args.n_jobs)
         if args.parallel_backend is not None:
             config = config.replace(parallel_backend=args.parallel_backend)
+        if args.kmeans_engine is not None:
+            config = config.replace(kmeans_engine=args.kmeans_engine)
     except ValueError as exc:
         raise SystemExit(f"repro characterize: error: {exc}")
     benches = _select_benchmarks(args.suite)
@@ -89,7 +91,12 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         progress=(print if args.verbose else None),
         feature_cache=feature_cache,
     )
-    result = run_characterization(dataset, config, select_key=not args.no_ga)
+    result = run_characterization(
+        dataset,
+        config,
+        select_key=not args.no_ga,
+        progress=(print if args.verbose else None),
+    )
     save_characterization(result, args.output)
     print(
         f"saved {args.output}: {len(dataset)} intervals, "
@@ -248,6 +255,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("auto", "serial", "thread", "process"),
         default=None,
         help="executor backend for --n-jobs > 1 (default: auto)",
+    )
+    p.add_argument(
+        "--kmeans-engine",
+        choices=("auto", "accelerated", "reference"),
+        default=None,
+        help="Lloyd inner loop: triangle-inequality engine or reference "
+        "full-distance pass; results are bit-identical (default: auto, "
+        "which honors REPRO_REFERENCE_KMEANS)",
     )
     p.add_argument(
         "--feature-cache",

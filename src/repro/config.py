@@ -47,6 +47,10 @@ class AnalysisConfig:
       restarts; ``-1`` means all cores, ``1`` means serial.
     * ``parallel_backend`` — ``auto`` | ``serial`` | ``thread`` |
       ``process`` (see :mod:`repro.parallel`).
+    * ``kmeans_engine`` — ``auto`` | ``accelerated`` | ``reference``
+      inner Lloyd loop (see :mod:`repro.stats.kmeans_engine`); bit-
+      identical results either way, ``auto`` honors
+      ``REPRO_REFERENCE_KMEANS``.
     """
 
     interval_instructions: int = 10_000
@@ -66,9 +70,10 @@ class AnalysisConfig:
     seed: int = 2008
     n_jobs: int = 1
     parallel_backend: str = "auto"
+    kmeans_engine: str = "auto"
 
     #: Fields that control execution, not results; excluded from cache keys.
-    EXECUTION_KNOBS = ("n_jobs", "parallel_backend")
+    EXECUTION_KNOBS = ("n_jobs", "parallel_backend", "kmeans_engine")
 
     def __post_init__(self) -> None:
         if self.interval_instructions <= 0:
@@ -84,6 +89,10 @@ class AnalysisConfig:
         if self.parallel_backend not in ("auto", "serial", "thread", "process"):
             raise ValueError(
                 "parallel_backend must be one of auto, serial, thread, process"
+            )
+        if self.kmeans_engine not in ("auto", "accelerated", "reference"):
+            raise ValueError(
+                "kmeans_engine must be one of auto, accelerated, reference"
             )
 
     @classmethod

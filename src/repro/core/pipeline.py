@@ -16,7 +16,7 @@ Steps 1-2 are performed by :func:`repro.core.dataset.build_dataset`;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -66,6 +66,7 @@ def run_characterization(
     config: AnalysisConfig,
     *,
     select_key: bool = True,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> PhaseCharacterization:
     """Run PCA, clustering, prominent-phase selection and the GA.
 
@@ -73,10 +74,13 @@ def run_characterization(
         dataset: output of :func:`repro.core.dataset.build_dataset`.
         config: methodology parameters; ``config.n_jobs`` /
             ``config.parallel_backend`` fan the k-means restarts across
-            workers without changing the result (bit-identical for a
-            fixed seed at any worker count).
+            workers and ``config.kmeans_engine`` picks the Lloyd inner
+            loop, none of which changes the result (bit-identical for a
+            fixed seed at any worker count and either engine).
         select_key: run the GA key-characteristic selection (step 5);
             disable for analyses that only need the clustering.
+        progress: optional sink for per-generation GA progress lines
+            (best fitness, fitness-cache hit rate).
 
     Returns:
         The complete :class:`PhaseCharacterization`.
@@ -97,6 +101,7 @@ def run_characterization(
         rng=rng,
         n_jobs=config.n_jobs,
         backend=config.parallel_backend,
+        engine=config.kmeans_engine,
     )
     prominent = select_prominent_phases(space, clustering, config.n_prominent)
 
@@ -113,6 +118,7 @@ def run_characterization(
             config.n_key_characteristics,
             config=config,
             rng=generator("ga", config.seed),
+            progress=progress,
         )
         names = feature_names()
         key_names = [names[i] for i in ga_result.selected_indices()]

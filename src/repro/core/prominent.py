@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..stats import Clustering, distances_to
+from ..stats import Clustering
 
 
 @dataclass(frozen=True)
@@ -63,12 +63,9 @@ def select_prominent_phases(
     order = np.argsort(sizes)[::-1]
     chosen = order[:n_prominent]
     weights = sizes[chosen] / len(points)
-    # Representative: the member interval closest to the cluster center.
-    representatives = np.empty(n_prominent, dtype=np.int64)
-    for j, cluster in enumerate(chosen):
-        member_rows = np.flatnonzero(clustering.labels == cluster)
-        d = distances_to(points[member_rows], clustering.centers[cluster][None, :])
-        representatives[j] = member_rows[int(np.argmin(d[:, 0]))]
+    # Representative: the member interval closest to the cluster center,
+    # from the fit's assigned distances (no per-cluster distance pass).
+    representatives = clustering.representatives(points)[chosen]
     return ProminentPhases(
         cluster_ids=chosen.astype(np.int64),
         weights=weights.astype(np.float64),

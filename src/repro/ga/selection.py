@@ -11,7 +11,7 @@ correlation-versus-size curve of Figure 1 is produced.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -78,6 +78,19 @@ def _crossover(a: np.ndarray, b: np.ndarray, n_select: int, rng: np.random.Gener
     return _repair(child, n_select, rng)
 
 
+def _evaluate(fitness: Callable, masks: List[np.ndarray]) -> List[float]:
+    """Score masks, using the fitness's batch path when it has one.
+
+    :class:`repro.ga.DistanceCorrelationFitness` exposes
+    ``evaluate_population`` (deduped, cache-aware, batched PCA); plain
+    callables are scored one by one.
+    """
+    batch = getattr(fitness, "evaluate_population", None)
+    if batch is not None:
+        return [float(s) for s in batch(masks)]
+    return [float(fitness(m)) for m in masks]
+
+
 def select_features(
     fitness: Callable[[np.ndarray], float],
     n_features: int,
@@ -85,6 +98,7 @@ def select_features(
     *,
     config: AnalysisConfig,
     rng: np.random.Generator,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> GAResult:
     """Evolve a feature subset of size ``n_select`` maximizing ``fitness``.
 
@@ -94,6 +108,9 @@ def select_features(
         n_select: subset cardinality to maintain.
         config: GA population/generation parameters.
         rng: randomness source.
+        progress: optional sink for a one-line summary per generation
+            (best fitness so far, and the fitness cache hit rate when
+            the fitness exposes ``cache_info``).
 
     Returns:
         The best solution found, with per-generation history.
@@ -106,7 +123,7 @@ def select_features(
         [_random_mask(n_features, n_select, rng) for _ in range(pop_size)]
         for _ in range(n_pop)
     ]
-    scores = [[fitness(m) for m in pop] for pop in populations]
+    scores = [_evaluate(fitness, pop) for pop in populations]
     history: List[float] = []
     best_mask = None
     best_score = -np.inf
@@ -129,7 +146,7 @@ def select_features(
                     child = _mutate(child, rng)
                 children.append(child)
             populations[p] = children
-            scores[p] = [fitness(m) for m in children]
+            scores[p] = _evaluate(fitness, children)
         # Migration: the best solution of each population seeds the next.
         if n_pop > 1:
             bests = [
@@ -139,9 +156,21 @@ def select_features(
                 target = (p + 1) % n_pop
                 worst = int(np.argmin(scores[target]))
                 populations[target][worst] = bests[p]
-                scores[target][worst] = fitness(bests[p])
+                scores[target][worst] = _evaluate(fitness, [bests[p]])[0]
         gen_best = max(max(sc) for sc in scores)
         history.append(float(gen_best))
+        if progress is not None:
+            line = (
+                f"ga[{n_select}] gen {generation + 1}: best {float(gen_best):.4f}"
+            )
+            cache_info = getattr(fitness, "cache_info", None)
+            if cache_info is not None:
+                info = cache_info()
+                line += (
+                    f", cache hit rate {info['hit_rate']:.1%}"
+                    f" ({info['hits']}/{info['lookups']})"
+                )
+            progress(line)
         if gen_best > best_score + 1e-12:
             best_score = gen_best
             for p in range(n_pop):
@@ -156,7 +185,7 @@ def select_features(
                 break
     if best_mask is None:
         best_mask = populations[0][0]
-        best_score = float(fitness(best_mask))
+        best_score = _evaluate(fitness, [best_mask])[0]
     return GAResult(mask=best_mask, fitness=float(best_score), history=history)
 
 
@@ -167,6 +196,7 @@ def correlation_curve(
     *,
     config: AnalysisConfig,
     rng: np.random.Generator,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> dict:
     """Best fitness per subset size — the Figure 1 curve.
 
@@ -175,7 +205,7 @@ def correlation_curve(
     out = {}
     for size in sizes:
         result = select_features(
-            fitness, n_features, size, config=config, rng=rng
+            fitness, n_features, size, config=config, rng=rng, progress=progress
         )
         out[size] = result
     return out

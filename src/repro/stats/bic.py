@@ -13,13 +13,23 @@ import math
 import numpy as np
 
 
-def kmeans_bic(points: np.ndarray, labels: np.ndarray, centers: np.ndarray) -> float:
+def kmeans_bic(
+    points: np.ndarray,
+    labels: np.ndarray,
+    centers: np.ndarray,
+    *,
+    assigned_sq: np.ndarray | None = None,
+) -> float:
     """BIC of a k-means clustering (higher is better).
 
     Args:
         points: ``(n, d)`` data.
         labels: cluster index per point.
         centers: ``(k, d)`` cluster centers.
+        assigned_sq: optional per-point squared distance to the assigned
+            center, as produced by the k-means epilogue; when given, the
+            SSE is its sum and the ``(n, d)`` residual matrix is never
+            materialized.
 
     Returns:
         The BIC score; ``-inf`` when the clustering is degenerate
@@ -29,8 +39,11 @@ def kmeans_bic(points: np.ndarray, labels: np.ndarray, centers: np.ndarray) -> f
     k = len(centers)
     if n <= k:
         return float("-inf")
-    diffs = points - centers[labels]
-    sse = float(np.sum(diffs**2))
+    if assigned_sq is not None:
+        sse = float(assigned_sq.sum())
+    else:
+        diffs = points - centers[labels]
+        sse = float(np.sum(diffs**2))
     # Pooled maximum-likelihood variance of the spherical model.
     sigma2 = sse / (d * (n - k))
     if sigma2 <= 0:

@@ -10,11 +10,25 @@ derived once from the caller's generator (see
 run whether there are 2 restarts or 50, serial or fanned out across a
 worker pool.  The best-BIC reduction breaks ties toward the lowest
 restart index, which keeps the winner deterministic too.
+
+Two interchangeable inner loops implement one Lloyd semantics:
+
+* :func:`_lloyd` — the reference: a full (chunked) distance pass and
+  argmin every iteration.
+* :func:`repro.stats.kmeans_engine.lloyd_accelerated` — the default:
+  triangle-inequality bounds certify most assignments without
+  computing any distances.
+
+Both produce bit-identical labels, centers, inertia and BIC for any
+seed (pinned by ``tests/stats/test_kmeans_engine.py``); selection is
+the ``engine`` argument / ``AnalysisConfig.kmeans_engine``, with
+``REPRO_REFERENCE_KMEANS=1`` forcing the reference at run time.  Like
+``n_jobs``, the engine choice participates in no cache key.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 import numpy as np
@@ -22,6 +36,15 @@ import numpy as np
 from ..parallel import Executor, generator_from_seed, get_executor, task_seeds
 from .bic import kmeans_bic
 from .distance import distances_to
+from .kmeans_engine import (
+    EngineStats,
+    assign_points,
+    assigned_sq_distances,
+    group_means,
+    lloyd_accelerated,
+    reseed_empty_clusters,
+    resolve_engine,
+)
 
 
 @dataclass(frozen=True)
@@ -34,6 +57,9 @@ class Clustering:
         bic: the clustering's BIC score.
         inertia: total within-cluster sum of squared distances.
         n_iter: Lloyd iterations to convergence in the winning restart.
+        assigned_sq: per-point squared distance to the assigned center,
+            as computed by the winning restart's final pass; ``None``
+            for clusterings loaded from disk (recomputed on demand).
     """
 
     centers: np.ndarray
@@ -41,6 +67,7 @@ class Clustering:
     bic: float
     inertia: float
     n_iter: int
+    assigned_sq: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     @property
     def k(self) -> int:
@@ -51,10 +78,28 @@ class Clustering:
         return np.bincount(self.labels, minlength=self.k)
 
     def representatives(self, points: np.ndarray) -> np.ndarray:
-        """Index of the point closest to each center (the paper's
-        cluster representative)."""
-        d = distances_to(points, self.centers)
-        return np.argmin(d, axis=0)
+        """Index of the member closest to each center (the paper's
+        cluster representative).
+
+        Reuses the fit's per-point assigned distances — ``O(n log n)``
+        overall — instead of recomputing a full ``(n, k)`` distance
+        matrix.  Ties break toward the lowest row index.  A cluster
+        with no members falls back to the globally nearest point.
+        """
+        assigned_sq = self.assigned_sq
+        if assigned_sq is None or len(assigned_sq) != len(points):
+            assigned_sq = assigned_sq_distances(points, self.centers, self.labels)
+        k = self.k
+        order = np.lexsort((np.arange(len(points)), assigned_sq, self.labels))
+        sorted_labels = self.labels[order]
+        starts = np.searchsorted(sorted_labels, np.arange(k), side="left")
+        present = self.cluster_sizes() > 0
+        reps = np.empty(k, dtype=np.int64)
+        reps[present] = order[starts[present]]
+        if not present.all():
+            d = distances_to(points, self.centers[~present])
+            reps[~present] = np.argmin(d, axis=0)
+        return reps
 
 
 def _lloyd(
@@ -62,44 +107,52 @@ def _lloyd(
     init_centers: np.ndarray,
     max_iter: int,
 ) -> tuple:
-    centers = init_centers.copy()
+    """Reference Lloyd: full chunked distance pass + argmin per iteration.
+
+    Shares every value-producing kernel with the accelerated engine
+    (assignment, center update, empty-cluster reseeding, epilogue), so
+    the two paths differ only in *which* distance rows they evaluate —
+    the property the engine's bit-identity tests pin.
+    """
+    centers = init_centers.astype(np.float64, copy=True)
+    k = len(centers)
     labels = np.zeros(len(points), dtype=np.int64)
     for iteration in range(1, max_iter + 1):
-        d = distances_to(points, centers)
-        new_labels = np.argmin(d, axis=1)
+        new_labels, assigned, _ = assign_points(points, centers)
         # Re-seed empty clusters with the points farthest from their
         # centers, so k stays k.
-        counts = np.bincount(new_labels, minlength=len(centers))
-        empties = np.flatnonzero(counts == 0)
-        if len(empties):
-            assigned_d = d[np.arange(len(points)), new_labels]
-            farthest = np.argsort(assigned_d)[::-1]
-            for j, cluster in enumerate(empties):
-                idx = farthest[j % len(farthest)]
-                centers[cluster] = points[idx]
-                new_labels[idx] = cluster
+        counts = np.bincount(new_labels, minlength=k)
+        reseeded = False
+        if (counts == 0).any():
+            rows = reseed_empty_clusters(points, centers, new_labels, assigned, counts)
+            reseeded = len(rows) > 0
         if iteration > 1 and np.array_equal(new_labels, labels):
             labels = new_labels
             break
         labels = new_labels
-        for cluster in range(len(centers)):
-            members = points[labels == cluster]
-            if len(members):
-                centers[cluster] = members.mean(axis=0)
-    inertia = float(
-        np.sum((points - centers[labels]) ** 2)
-    )
-    return centers, labels, inertia, iteration
+        previous = centers
+        centers = group_means(points, labels, centers)
+        if not reseeded and np.array_equal(centers, previous):
+            # Zero center drift: the next pass would reproduce these
+            # labels exactly, so converge now (tol-style early exit).
+            break
+    assigned_sq = assigned_sq_distances(points, centers, labels)
+    inertia = float(assigned_sq.sum())
+    return centers, labels, inertia, iteration, assigned_sq
 
 
 def _run_restart(payload, seed: int):
     """One independent restart (executor task body): init, Lloyd, BIC."""
-    points, k, max_iter = payload
+    points, k, max_iter, use_reference = payload
     rng = generator_from_seed(seed)
     init_idx = rng.choice(len(points), size=k, replace=False)
-    centers, labels, inertia, n_iter = _lloyd(points, points[init_idx], max_iter)
-    bic = kmeans_bic(points, labels, centers)
-    return centers, labels, inertia, n_iter, bic
+    if use_reference:
+        fit = _lloyd(points, points[init_idx], max_iter)
+    else:
+        fit = lloyd_accelerated(points, points[init_idx], max_iter)
+    centers, labels, inertia, n_iter, assigned_sq = fit
+    bic = kmeans_bic(points, labels, centers, assigned_sq=assigned_sq)
+    return centers, labels, inertia, n_iter, bic, assigned_sq
 
 
 def kmeans(
@@ -112,6 +165,8 @@ def kmeans(
     n_jobs: int = 1,
     backend: str = "auto",
     executor: Optional[Executor] = None,
+    engine: str = "auto",
+    engine_stats: Optional[EngineStats] = None,
 ) -> Clustering:
     """Cluster ``points`` into ``k`` clusters, keeping the best-BIC run.
 
@@ -125,6 +180,11 @@ def kmeans(
         n_jobs: workers to fan the restarts across (1 = serial).
         backend: executor backend for the fan-out.
         executor: override the executor built from ``backend``/``n_jobs``.
+        engine: ``auto`` | ``accelerated`` | ``reference`` inner loop;
+            ``auto`` honors ``REPRO_REFERENCE_KMEANS``.  Results are
+            bit-identical either way.
+        engine_stats: accumulate accelerated-engine distance-evaluation
+            accounting (serial runs only; ignored when fanned out).
 
     Returns:
         The :class:`Clustering` with the highest BIC score (ties broken
@@ -138,19 +198,27 @@ def kmeans(
         raise ValueError("restarts must be >= 1")
     if max_iter < 1:
         raise ValueError("max_iter must be >= 1")
+    use_reference = resolve_engine(engine) == "reference"
     k = min(k, len(points))
     root = int(rng.integers(2**63))
     seeds = task_seeds("km-restart", root, restarts)
     if executor is None:
         executor = get_executor(backend, n_jobs)
-    runs = executor.map(
-        _run_restart,
-        seeds,
-        payload=(points, k, max_iter),
-        labels=[f"restart {i}" for i in range(restarts)],
-    )
+    if engine_stats is not None and not use_reference:
+        # Stats accumulation is only well-defined in-process.
+        runs = [
+            _run_restart_with_stats((points, k, max_iter), seed, engine_stats)
+            for seed in seeds
+        ]
+    else:
+        runs = executor.map(
+            _run_restart,
+            seeds,
+            payload=(points, k, max_iter, use_reference),
+            labels=[f"restart {i}" for i in range(restarts)],
+        )
     best: Optional[Clustering] = None
-    for centers, labels, inertia, n_iter, bic in runs:
+    for centers, labels, inertia, n_iter, bic, assigned_sq in runs:
         if best is None or bic > best.bic:
             best = Clustering(
                 centers=centers,
@@ -158,5 +226,19 @@ def kmeans(
                 bic=bic,
                 inertia=inertia,
                 n_iter=n_iter,
+                assigned_sq=assigned_sq,
             )
+    assert best is not None  # restarts >= 1 guarantees at least one run
     return best
+
+
+def _run_restart_with_stats(payload, seed: int, stats: EngineStats):
+    """Serial restart through the accelerated engine, collecting stats."""
+    points, k, max_iter = payload
+    rng = generator_from_seed(seed)
+    init_idx = rng.choice(len(points), size=k, replace=False)
+    centers, labels, inertia, n_iter, assigned_sq = lloyd_accelerated(
+        points, points[init_idx], max_iter, stats=stats
+    )
+    bic = kmeans_bic(points, labels, centers, assigned_sq=assigned_sq)
+    return centers, labels, inertia, n_iter, bic, assigned_sq

@@ -85,6 +85,78 @@ def fit_pca(matrix: np.ndarray) -> PCAModel:
     )
 
 
+class GramPCA:
+    """Rescaled-PCA spaces for column subsets from one precomputed Gram.
+
+    Fitting :func:`rescaled_pca_space` to ``matrix[:, mask]`` from
+    scratch costs an SVD of an ``(n, m)`` submatrix per mask.  Because
+    z-scoring is column-independent, the z-scored submatrix equals
+    ``Z[:, mask]`` of the full-matrix ``Z``, so the masked
+    correlation-matrix PCA is the eigendecomposition of the ``(m, m)``
+    Gram block ``G[mask][:, mask]`` with ``G = Zᵀ Z`` — built once,
+    independent of ``n`` per mask.  Spaces agree with the SVD path up
+    to component sign/order and rounding, which leaves every distance
+    in the space unchanged to numerical precision.
+    """
+
+    def __init__(self, matrix: np.ndarray, *, min_std: float = 1.0) -> None:
+        if matrix.ndim != 2 or len(matrix) < 2:
+            raise ValueError("expected a 2-D matrix with at least two rows")
+        self.z = Normalizer.fit(matrix).transform(matrix)
+        self.gram = self.z.T @ self.z
+        self.n = len(matrix)
+        self.min_std = min_std
+
+    @property
+    def n_features(self) -> int:
+        return self.gram.shape[1]
+
+    def _rescale(self, cols: np.ndarray, eigvals: np.ndarray, eigvecs: np.ndarray) -> np.ndarray:
+        """Project Z[:, cols] onto the retained components and z-score."""
+        stds = np.sqrt(np.clip(eigvals, 0.0, None) / (self.n - 1))
+        keep = stds > self.min_std
+        if not keep.any():
+            # Always keep the most significant component (eigh returns
+            # eigenvalues ascending, so that is the last one).
+            keep[-1] = True
+        scores = self.z[:, cols] @ eigvecs[:, keep]
+        std = scores.std(axis=0)
+        scale = np.where(std > 0, std, 1.0)
+        return (scores - scores.mean(axis=0)) / scale
+
+    def space(self, mask: np.ndarray) -> np.ndarray:
+        """Rescaled PCA space of the columns selected by boolean ``mask``."""
+        cols = np.flatnonzero(mask)
+        if len(cols) == 0:
+            raise ValueError("mask selects no columns")
+        g = self.gram[np.ix_(cols, cols)]
+        eigvals, eigvecs = np.linalg.eigh(g)
+        return self._rescale(cols, eigvals, eigvecs)
+
+    def spaces(self, masks) -> list:
+        """Rescaled spaces for many masks, batching same-size eigh calls.
+
+        Masks sharing a cardinality are decomposed with one stacked
+        :func:`np.linalg.eigh` over a ``(batch, m, m)`` Gram tensor.
+        Returns spaces in input order.
+        """
+        masks = list(masks)
+        groups: dict = {}
+        for i, mask in enumerate(masks):
+            cols = np.flatnonzero(mask)
+            if len(cols) == 0:
+                raise ValueError("mask selects no columns")
+            groups.setdefault(len(cols), []).append((i, cols))
+        out = [None] * len(masks)
+        for entries in groups.values():
+            cols_stack = np.stack([cols for _, cols in entries])
+            grams = self.gram[cols_stack[:, :, None], cols_stack[:, None, :]]
+            eigvals, eigvecs = np.linalg.eigh(grams)
+            for (i, cols), w, v in zip(entries, eigvals, eigvecs):
+                out[i] = self._rescale(cols, w, v)
+        return out
+
+
 def rescaled_pca_space(matrix: np.ndarray, *, min_std: float = 1.0) -> np.ndarray:
     """The paper's full transform: normalize -> PCA -> retain -> rescale.
 

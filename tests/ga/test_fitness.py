@@ -58,3 +58,94 @@ def test_caching_returns_identical_values(phases):
 def test_requires_three_phases():
     with pytest.raises(ValueError):
         DistanceCorrelationFitness(np.ones((2, 5)))
+
+
+def test_matches_exact_svd_path(phases):
+    # The Gram-matrix PCA must agree with the from-scratch SVD pipeline
+    # to numerical precision for every mask cardinality.
+    from repro.stats import condensed_distances, pearson, rescaled_pca_space
+
+    fitness = DistanceCorrelationFitness(phases)
+    rng = np.random.default_rng(3)
+    for size in (1, 2, 5, 10):
+        mask = np.zeros(10, dtype=bool)
+        mask[rng.choice(10, size=size, replace=False)] = True
+        exact_space = rescaled_pca_space(phases[:, mask])
+        exact = pearson(
+            condensed_distances(exact_space), fitness.reference_distances
+        )
+        assert fitness(mask) == pytest.approx(exact, abs=1e-10)
+
+
+def test_batch_matches_sequential(phases):
+    rng = np.random.default_rng(4)
+    masks = []
+    for _ in range(12):
+        m = np.zeros(10, dtype=bool)
+        m[rng.choice(10, size=int(rng.integers(1, 11)), replace=False)] = True
+        masks.append(m)
+    masks.append(np.zeros(10, dtype=bool))  # empty mask inline
+    batch = DistanceCorrelationFitness(phases).evaluate_population(masks)
+    fresh = DistanceCorrelationFitness(phases)
+    sequential = [fresh(m) for m in masks]
+    assert batch == pytest.approx(sequential, abs=1e-12)
+
+
+def test_cache_hit_counters(phases):
+    fitness = DistanceCorrelationFitness(phases)
+    mask = np.zeros(10, dtype=bool)
+    mask[:4] = True
+    fitness(mask)
+    fitness(mask)
+    fitness(mask.copy())
+    info = fitness.cache_info()
+    assert info["lookups"] == 3
+    assert info["hits"] == 2
+    assert info["hit_rate"] == pytest.approx(2 / 3)
+    assert info["size"] == 1
+
+
+def test_lru_eviction_bounds_cache(phases):
+    fitness = DistanceCorrelationFitness(phases, cache_size=3)
+    masks = []
+    for i in range(6):
+        m = np.zeros(10, dtype=bool)
+        m[i] = True
+        masks.append(m)
+        fitness(m)
+    assert fitness.cache_info()["size"] == 3
+    # The three most recent survive; re-scoring them is all hits.
+    before = fitness.cache_info()["hits"]
+    for m in masks[3:]:
+        fitness(m)
+    assert fitness.cache_info()["hits"] == before + 3
+    # The evicted oldest mask misses (recomputed, value unchanged).
+    assert fitness(masks[0]) == pytest.approx(fitness(masks[0]))
+
+
+def test_lru_recency_updated_on_hit(phases):
+    fitness = DistanceCorrelationFitness(phases, cache_size=2)
+    a, b, c = (np.zeros(10, dtype=bool) for _ in range(3))
+    a[0], b[1], c[2] = True, True, True
+    fitness(a)
+    fitness(b)
+    fitness(a)  # refresh a; b is now least recent
+    fitness(c)  # evicts b
+    hits = fitness.cache_info()["hits"]
+    fitness(a)
+    assert fitness.cache_info()["hits"] == hits + 1
+
+
+def test_rejects_bad_cache_size(phases):
+    with pytest.raises(ValueError):
+        DistanceCorrelationFitness(phases, cache_size=0)
+
+
+def test_unbounded_cache_allowed(phases):
+    fitness = DistanceCorrelationFitness(phases, cache_size=None)
+    for i in range(10):
+        m = np.zeros(10, dtype=bool)
+        m[i] = True
+        fitness(m)
+    assert fitness.cache_info()["size"] == 10
+    assert fitness.cache_info()["max_size"] is None

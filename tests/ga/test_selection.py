@@ -88,3 +88,48 @@ def test_stall_terminates_early():
         lambda m: 0.5, 10, 3, config=cfg, rng=generator("ga", 10)
     )
     assert res.generations < 100
+
+
+def test_progress_lines_emitted_per_generation(cfg):
+    lines = []
+    res = select_features(
+        counting_fitness, 15, 3, config=cfg, rng=generator("ga", 11),
+        progress=lines.append,
+    )
+    assert len(lines) == res.generations
+    assert all("best" in line for line in lines)
+
+
+def test_progress_line_includes_cache_hit_rate(cfg):
+    from repro.ga import DistanceCorrelationFitness
+
+    rng = np.random.default_rng(12)
+    fitness = DistanceCorrelationFitness(rng.normal(size=(12, 15)))
+    lines = []
+    select_features(
+        fitness, 15, 4, config=cfg, rng=generator("ga", 12),
+        progress=lines.append,
+    )
+    assert lines
+    assert all("cache hit rate" in line for line in lines)
+
+
+def test_progress_defaults_to_silent(cfg, capsys):
+    select_features(counting_fitness, 10, 3, config=cfg, rng=generator("ga", 13))
+    assert capsys.readouterr().out == ""
+
+
+def test_batch_fitness_path_matches_plain_callable(cfg):
+    from repro.ga import DistanceCorrelationFitness
+
+    rng = np.random.default_rng(14)
+    phases = rng.normal(size=(14, 12))
+    batched = DistanceCorrelationFitness(phases)
+    plain = DistanceCorrelationFitness(phases)
+    a = select_features(batched, 12, 4, config=cfg, rng=generator("ga", 15))
+    # Hide the batch path: the GA falls back to one-by-one calls.
+    b = select_features(
+        lambda m: plain(m), 12, 4, config=cfg, rng=generator("ga", 15)
+    )
+    assert (a.mask == b.mask).all()
+    assert a.fitness == pytest.approx(b.fitness)

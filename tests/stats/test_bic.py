@@ -1,6 +1,7 @@
 """Tests for the k-means BIC score."""
 
 import numpy as np
+import pytest
 
 from repro.stats import kmeans_bic
 
@@ -64,3 +65,15 @@ def test_bic_penalizes_parameter_count():
     padded = np.vstack([center, [100.0, 100.0], [200.0, 200.0]])
     large = kmeans_bic(points, labels, padded)
     assert small > large
+
+
+def test_bic_accepts_precomputed_assigned_sq():
+    rng = np.random.default_rng(4)
+    points = rng.normal(size=(50, 3))
+    labels = rng.integers(0, 4, size=50)
+    centers = rng.normal(size=(4, 3))
+    diffs = points - centers[labels]
+    assigned_sq = np.sum(diffs**2, axis=1)
+    direct = kmeans_bic(points, labels, centers)
+    reused = kmeans_bic(points, labels, centers, assigned_sq=assigned_sq)
+    assert reused == pytest.approx(direct, rel=1e-12)

@@ -55,3 +55,16 @@ def test_cache_key_sensitive_to_seed():
     a = AnalysisConfig.tiny()
     b = a.replace(seed=a.seed + 1)
     assert a.cache_key() != b.cache_key()
+
+
+def test_kmeans_engine_validated():
+    assert AnalysisConfig(kmeans_engine="reference").kmeans_engine == "reference"
+    assert AnalysisConfig(kmeans_engine="accelerated").kmeans_engine == "accelerated"
+    with pytest.raises(ValueError):
+        AnalysisConfig(kmeans_engine="fast")
+
+
+def test_execution_knobs_excluded_from_full_key():
+    base = AnalysisConfig.tiny()
+    assert base.full_key() == base.replace(kmeans_engine="reference").full_key()
+    assert base.full_key() == base.replace(n_jobs=4).full_key()
