@@ -21,13 +21,13 @@ under 3x (meant for the paper preset; the tiny problem is
 overhead-dominated and not gated).
 """
 
-import json
 import os
 import time
 
 import numpy as np
 
 from repro.io import format_table
+from repro.obs import emit_bench
 from repro.stats.kmeans import _lloyd
 from repro.stats.kmeans_engine import EngineStats, lloyd_accelerated
 
@@ -122,7 +122,6 @@ def bench_kmeans_throughput(config, report):
     print("\n" + text)
 
     payload = {
-        "bench": "kmeans_throughput",
         "preset": preset,
         "n_points": n,
         "n_clusters": k,
@@ -137,8 +136,7 @@ def bench_kmeans_throughput(config, report):
         "distance_evals_computed": int(stats.distance_evals_computed),
         "bit_identical": True,
     }
-    report("kmeans_throughput.json", json.dumps(payload, indent=2))
-    print("BENCH " + json.dumps(payload))
+    emit_bench("kmeans_throughput", payload, report=report)
 
     if os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP"):
         assert speedup >= 3.0, f"kmeans engine speedup {speedup:.2f}x < 3x"

@@ -21,7 +21,6 @@ under 5x or the ILP kernel under 3x (meant for the paper/default preset;
 tiny intervals are overhead-dominated and are not gated).
 """
 
-import json
 import os
 import tempfile
 import time
@@ -44,6 +43,7 @@ from repro.mica import (
     measure_register_traffic,
     measure_strides,
 )
+from repro.obs import emit_bench
 from repro.suites import all_benchmarks
 
 #: Timing repeats; the minimum total is reported.
@@ -154,7 +154,6 @@ def bench_meter_throughput(config, report):
     print("\n" + text)
 
     payload = {
-        "bench": "meter_throughput",
         "preset": os.environ.get("REPRO_BENCH_PRESET", "paper"),
         "interval_instructions": config.interval_instructions,
         "n_intervals": len(traces),
@@ -165,8 +164,7 @@ def bench_meter_throughput(config, report):
         "ppm_speedup": round(ppm_speedup, 2),
         "ilp_speedup": round(ilp_speedup, 2),
     }
-    report("meter_throughput.json", json.dumps(payload, indent=2))
-    print("BENCH " + json.dumps(payload))
+    emit_bench("meter_throughput", payload, report=report)
 
     if os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP"):
         assert ppm_speedup >= 5.0, f"ppm kernel speedup {ppm_speedup:.2f}x < 5x"
@@ -199,11 +197,9 @@ def bench_feature_cache_hit_path(config, report):
     print("\n" + text)
 
     payload = {
-        "bench": "feature_cache_hit_path",
         "preset": os.environ.get("REPRO_BENCH_PRESET", "paper"),
         "cold_seconds": round(cold_s, 6),
         "warm_seconds": round(warm_s, 6),
         "speedup": round(speedup, 2),
     }
-    report("feature_cache_hit_path.json", json.dumps(payload, indent=2))
-    print("BENCH " + json.dumps(payload))
+    emit_bench("feature_cache_hit_path", payload, report=report)

@@ -9,8 +9,14 @@ Usage (installed as ``python -m repro``)::
     python -m repro phases out.npz SPECint2006 astar   # section 4.2 view
     python -m repro render out.npz figdir/   # Figures 2/3 SVG pages
     python -m repro simulate out.npz SPECint2006 astar # section 5.3 CPI
+    python -m repro report run.json          # render a --run-report file
 
 Every command prints plain text; figure pages are SVG files.
+``--verbose`` raises the library log level (INFO on stderr) instead of
+threading print callbacks through the pipeline; ``characterize
+--run-report PATH`` additionally records the whole run — span tree,
+metrics, config digest — as one JSON document (see
+docs/observability.md).
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from . import obs
 from .config import AnalysisConfig
 from .core import (
     build_dataset,
@@ -84,20 +91,26 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         from .io import FeatureBlockCache
 
         feature_cache = FeatureBlockCache(args.feature_cache)
+    run_id = obs.new_run_id()
+    obs.configure_logging(
+        level="info" if args.verbose else "warning",
+        json_format=args.log_json,
+        run_id=run_id,
+    )
     print(f"characterizing {len(benches)} benchmarks at preset {args.preset!r}...")
-    dataset = build_dataset(
-        benches,
-        config,
-        progress=(print if args.verbose else None),
-        feature_cache=feature_cache,
-    )
-    result = run_characterization(
-        dataset,
-        config,
-        select_key=not args.no_ga,
-        progress=(print if args.verbose else None),
-    )
+    # --run-report turns telemetry collection on; without it the obs
+    # layer stays a no-op and the results are bit-identical either way.
+    observation = None
+    context = obs.observe(run_id=run_id) if args.run_report else _inert()
+    with context as observation:
+        with obs.span("characterize", preset=args.preset, benchmarks=len(benches)):
+            dataset = build_dataset(benches, config, feature_cache=feature_cache)
+            result = run_characterization(dataset, config, select_key=not args.no_ga)
     save_characterization(result, args.output)
+    if args.run_report:
+        doc = obs.build_report(observation, config=config, command="characterize")
+        path = obs.write_report(args.run_report, doc)
+        print(f"run report written to {path}")
     print(
         f"saved {args.output}: {len(dataset)} intervals, "
         f"{result.n_components} components "
@@ -108,6 +121,27 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     )
     if result.key_characteristics:
         print("key characteristics: " + ", ".join(result.key_characteristics))
+    return 0
+
+
+class _inert:
+    """Stand-in for ``obs.observe`` when no run report was requested."""
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    doc = obs.load_report(args.report)
+    problems = obs.validate_report(doc)
+    if problems:
+        for problem in problems:
+            print(f"invalid run report: {problem}", file=sys.stderr)
+        return 1
+    print(obs.render_report(doc, max_children=args.max_spans), end="")
     return 0
 
 
@@ -241,7 +275,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to a suite (repeatable); default: all 77 benchmarks",
     )
     p.add_argument("--no-ga", action="store_true", help="skip key-characteristic GA")
-    p.add_argument("--verbose", action="store_true", help="per-benchmark progress")
+    p.add_argument(
+        "--verbose",
+        action="store_true",
+        help="INFO-level progress on stderr (per-benchmark characterization, "
+        "per-generation GA lines)",
+    )
+    p.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log lines as run-id-stamped JSON instead of console text",
+    )
+    p.add_argument(
+        "--run-report",
+        default=None,
+        metavar="PATH",
+        help="collect spans/metrics for the run and write the JSON run "
+        "report here (render it with 'repro report PATH')",
+    )
     p.add_argument(
         "--n-jobs",
         type=int,
@@ -307,6 +358,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--predictor", default="gshare", choices=("gshare", "bimodal"))
     p.add_argument("--full", action="store_true", help="also run full simulation")
     p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("report", help="render a characterize --run-report file")
+    p.add_argument("report", help="run-report JSON path")
+    p.add_argument(
+        "--max-spans",
+        type=int,
+        default=12,
+        metavar="N",
+        help="sibling spans shown per tree level before eliding",
+    )
+    p.set_defaults(func=_cmd_report)
     return parser
 
 

@@ -15,9 +15,12 @@ import numpy as np
 
 from ..config import AnalysisConfig
 from ..mica import N_FEATURES, characterize_interval
+from ..obs import get_logger, metrics, span
 from ..parallel import Executor, get_executor
 from ..suites import Benchmark
 from .sampling import sample_interval_indices
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -81,21 +84,36 @@ def _characterize_benchmark(payload, index: int):
     n_samples = config.intervals_per_benchmark
     if counts is not None:
         n_samples = counts.get(bench.key, n_samples)
-    picks = sample_interval_indices(bench, n_samples, seed=config.seed)
-    unique_picks, inverse = np.unique(picks, return_inverse=True)
+    with span("sampling", benchmark=bench.key) as sp:
+        picks = sample_interval_indices(bench, n_samples, seed=config.seed)
+        unique_picks, inverse = np.unique(picks, return_inverse=True)
+        sp.set(picks=len(picks), unique=len(unique_picks))
     cached = cached_blocks.get(bench.key) if cached_blocks else None
     vectors = np.empty((len(unique_picks), N_FEATURES), dtype=np.float64)
     fresh = {}
-    for j, interval_idx in enumerate(unique_picks):
-        interval_idx = int(interval_idx)
-        vec = cached.get(interval_idx) if cached else None
-        if vec is None:
-            trace = bench.program.interval_trace(
-                interval_idx, config.interval_instructions
-            )
-            vec = characterize_interval(trace, config)
-            fresh[interval_idx] = vec
-        vectors[j] = vec
+    with span("mica", benchmark=bench.key) as sp:
+        for j, interval_idx in enumerate(unique_picks):
+            interval_idx = int(interval_idx)
+            vec = cached.get(interval_idx) if cached else None
+            if vec is None:
+                trace = bench.program.interval_trace(
+                    interval_idx, config.interval_instructions
+                )
+                vec = characterize_interval(trace, config)
+                fresh[interval_idx] = vec
+            vectors[j] = vec
+        sp.set(characterized=len(fresh), cached=len(unique_picks) - len(fresh))
+    updates = [
+        ("dataset.rows", float(len(picks))),
+        ("dataset.unique_intervals", float(len(unique_picks))),
+        ("dataset.intervals_characterized", float(len(fresh))),
+    ]
+    if cached_blocks is not None:
+        updates.append(
+            ("feature_blocks.interval_hits", float(len(unique_picks) - len(fresh)))
+        )
+        updates.append(("feature_blocks.interval_misses", float(len(fresh))))
+    metrics().counter_add_many(updates)
     return vectors[inverse], picks, len(unique_picks), fresh
 
 
@@ -126,7 +144,10 @@ def build_dataset(
         config: scale parameters, including ``n_jobs`` and
             ``parallel_backend``.
         progress: optional callback receiving one message per benchmark,
-            always in benchmark order.
+            always in benchmark order.  *Deprecated:* the same lines are
+            now emitted at INFO level through :mod:`repro.obs.log`
+            (enable with ``repro.obs.configure_logging``); the callback
+            is kept as a thin adapter for backward compatibility.
         counts: optional per-benchmark sample-count overrides keyed by
             benchmark key (``suite/name``).  Used by the interval-
             sampling ablation to weight benchmarks by their dynamic
@@ -153,20 +174,23 @@ def build_dataset(
         }
 
     def report(i: int, result) -> None:
+        n_unique, fresh = result[2], result[3]
+        line = (
+            f"characterized {benchmarks[i].key}: {n_unique} unique intervals"
+            f" ({len(fresh)} computed)"
+        )
+        log.info("%s", line)
         if progress is not None:
-            n_unique, fresh = result[2], result[3]
-            progress(
-                f"characterized {benchmarks[i].key}: {n_unique} unique intervals"
-                f" ({len(fresh)} computed)"
-            )
+            progress(line)
 
-    blocks = executor.map(
-        _characterize_benchmark,
-        range(len(benchmarks)),
-        payload=(benchmarks, config, counts, cached_blocks),
-        labels=[b.key for b in benchmarks],
-        on_result=report,
-    )
+    with span("dataset.build", benchmarks=len(benchmarks)):
+        blocks = executor.map(
+            _characterize_benchmark,
+            range(len(benchmarks)),
+            payload=(benchmarks, config, counts, cached_blocks),
+            labels=[b.key for b in benchmarks],
+            on_result=report,
+        )
     rows: List[np.ndarray] = []
     suites: List[str] = []
     names: List[str] = []

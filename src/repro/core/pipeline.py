@@ -23,10 +23,13 @@ import numpy as np
 from ..config import AnalysisConfig
 from ..ga import DistanceCorrelationFitness, GAResult, select_features
 from ..mica import N_FEATURES, feature_names
+from ..obs import get_logger, metrics, span
 from ..stats import Clustering, fit_pca, kmeans
 from ..synth.rng import generator
 from .dataset import WorkloadDataset
 from .prominent import ProminentPhases, select_prominent_phases
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -80,46 +83,73 @@ def run_characterization(
         select_key: run the GA key-characteristic selection (step 5);
             disable for analyses that only need the clustering.
         progress: optional sink for per-generation GA progress lines
-            (best fitness, fitness-cache hit rate).
+            (best fitness, fitness-cache hit rate).  *Deprecated:* the
+            same lines are emitted at INFO level through
+            :mod:`repro.obs.log`, and the underlying numbers land in
+            the metrics registry; the callback is kept as a thin
+            adapter for backward compatibility.
 
     Returns:
         The complete :class:`PhaseCharacterization`.
     """
-    model = fit_pca(dataset.features).retained(config.pca_min_std)
-    scores = model.transform(dataset.features)
-    std = scores.std(axis=0)
-    scale = np.where(std > 0, std, 1.0)
-    space = (scores - scores.mean(axis=0)) / scale
-    explained = float(model.explained_ratio.sum())
+    with span("pca", rows=len(dataset)) as sp:
+        model = fit_pca(dataset.features).retained(config.pca_min_std)
+        scores = model.transform(dataset.features)
+        std = scores.std(axis=0)
+        scale = np.where(std > 0, std, 1.0)
+        space = (scores - scores.mean(axis=0)) / scale
+        explained = float(model.explained_ratio.sum())
+        sp.set(n_components=model.n_components, explained_variance=explained)
+    reg = metrics()
+    reg.gauge_set("pca.n_components", model.n_components)
+    reg.gauge_set("pca.explained_variance", explained)
+    log.info(
+        "pca: retained %d components (%.1f%% variance)",
+        model.n_components,
+        100 * explained,
+    )
 
     rng = generator("kmeans", config.seed)
-    clustering = kmeans(
-        space,
-        config.n_clusters,
-        restarts=config.kmeans_restarts,
-        max_iter=config.kmeans_max_iter,
-        rng=rng,
-        n_jobs=config.n_jobs,
-        backend=config.parallel_backend,
-        engine=config.kmeans_engine,
+    with span("kmeans", k=config.n_clusters, restarts=config.kmeans_restarts) as sp:
+        clustering = kmeans(
+            space,
+            config.n_clusters,
+            restarts=config.kmeans_restarts,
+            max_iter=config.kmeans_max_iter,
+            rng=rng,
+            n_jobs=config.n_jobs,
+            backend=config.parallel_backend,
+            engine=config.kmeans_engine,
+        )
+        sp.set(bic=clustering.bic, inertia=clustering.inertia, n_iter=clustering.n_iter)
+    log.info(
+        "kmeans: k=%d best BIC %.2f after %d restarts",
+        clustering.k,
+        clustering.bic,
+        config.kmeans_restarts,
     )
-    prominent = select_prominent_phases(space, clustering, config.n_prominent)
+    with span("prominent", n=config.n_prominent) as sp:
+        prominent = select_prominent_phases(space, clustering, config.n_prominent)
+        sp.set(selected=len(prominent), coverage=prominent.coverage)
+    reg.gauge_set("prominent.coverage", prominent.coverage)
 
     key_names: Optional[List[str]] = None
     ga_result: Optional[GAResult] = None
     if select_key:
-        fitness = DistanceCorrelationFitness(
-            dataset.features[prominent.representative_rows],
-            pca_min_std=config.pca_min_std,
-        )
-        ga_result = select_features(
-            fitness,
-            N_FEATURES,
-            config.n_key_characteristics,
-            config=config,
-            rng=generator("ga", config.seed),
-            progress=progress,
-        )
+        with span("ga", n_select=config.n_key_characteristics) as sp:
+            fitness = DistanceCorrelationFitness(
+                dataset.features[prominent.representative_rows],
+                pca_min_std=config.pca_min_std,
+            )
+            ga_result = select_features(
+                fitness,
+                N_FEATURES,
+                config.n_key_characteristics,
+                config=config,
+                rng=generator("ga", config.seed),
+                progress=progress,
+            )
+            sp.set(fitness=ga_result.fitness, generations=ga_result.generations)
         names = feature_names()
         key_names = [names[i] for i in ga_result.selected_indices()]
     return PhaseCharacterization(

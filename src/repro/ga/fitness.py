@@ -15,6 +15,12 @@ so each mask costs an ``(m, m)`` eigendecomposition instead of an
 ``(n, m)`` SVD, and a whole GA population is evaluated with batched
 decompositions via :meth:`DistanceCorrelationFitness.evaluate_population`.
 Scores are memoized in a bounded LRU keyed by the mask bits.
+
+The cache's hit/lookup counters (:meth:`~DistanceCorrelationFitness.
+cache_info`) are the GA's main health signal; the selection loop
+publishes them per generation as ``ga.fitness_cache.*`` gauges through
+the obs layer (:mod:`repro.obs`), which replaced the old
+``progress``-callback print plumbing as the primary sink.
 """
 
 from __future__ import annotations

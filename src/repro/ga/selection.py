@@ -16,6 +16,9 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..config import AnalysisConfig
+from ..obs import get_logger, metrics
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -91,6 +94,38 @@ def _evaluate(fitness: Callable, masks: List[np.ndarray]) -> List[float]:
     return [float(fitness(m)) for m in masks]
 
 
+def _emit_generation(
+    fitness: Callable,
+    n_select: int,
+    generation: int,
+    gen_best: float,
+    progress: Optional[Callable[[str], None]],
+) -> None:
+    """Publish one generation's summary: obs metrics, log line, adapter.
+
+    The ``progress`` callback receives the exact line the old
+    ``print``-plumbing produced, so existing callers keep working; the
+    obs layer is the primary sink.
+    """
+    reg = metrics()
+    reg.counter_add("ga.generations", 1)
+    reg.gauge_set("ga.best_fitness", gen_best)
+    line = f"ga[{n_select}] gen {generation + 1}: best {gen_best:.4f}"
+    cache_info = getattr(fitness, "cache_info", None)
+    if cache_info is not None:
+        info = cache_info()
+        reg.gauge_set("ga.fitness_cache.hits", info["hits"])
+        reg.gauge_set("ga.fitness_cache.lookups", info["lookups"])
+        reg.gauge_set("ga.fitness_cache.hit_rate", info["hit_rate"])
+        line += (
+            f", cache hit rate {info['hit_rate']:.1%}"
+            f" ({info['hits']}/{info['lookups']})"
+        )
+    log.info("%s", line)
+    if progress is not None:
+        progress(line)
+
+
 def select_features(
     fitness: Callable[[np.ndarray], float],
     n_features: int,
@@ -110,7 +145,14 @@ def select_features(
         rng: randomness source.
         progress: optional sink for a one-line summary per generation
             (best fitness so far, and the fitness cache hit rate when
-            the fitness exposes ``cache_info``).
+            the fitness exposes ``cache_info``).  *Deprecated:* the
+            per-generation telemetry now flows through the obs layer —
+            the same line is logged at INFO level via
+            :func:`repro.obs.get_logger` and the numbers land in the
+            active metrics registry (``ga.best_fitness``,
+            ``ga.generations``, ``ga.fitness_cache.*``); this callback
+            is kept as a thin adapter for backward compatibility and
+            may be removed in a future major version.
 
     Returns:
         The best solution found, with per-generation history.
@@ -159,18 +201,7 @@ def select_features(
                 scores[target][worst] = _evaluate(fitness, [bests[p]])[0]
         gen_best = max(max(sc) for sc in scores)
         history.append(float(gen_best))
-        if progress is not None:
-            line = (
-                f"ga[{n_select}] gen {generation + 1}: best {float(gen_best):.4f}"
-            )
-            cache_info = getattr(fitness, "cache_info", None)
-            if cache_info is not None:
-                info = cache_info()
-                line += (
-                    f", cache hit rate {info['hit_rate']:.1%}"
-                    f" ({info['hits']}/{info['lookups']})"
-                )
-            progress(line)
+        _emit_generation(fitness, n_select, generation, float(gen_best), progress)
         if gen_best > best_score + 1e-12:
             best_score = gen_best
             for p in range(n_pop):

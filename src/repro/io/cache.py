@@ -21,10 +21,13 @@ from ..core import (
     save_characterization,
     save_dataset,
 )
+from ..obs import get_logger, metrics
 from ..suites import Benchmark, all_benchmarks
 from .feature_blocks import FeatureBlockCache
 
 PathLike = Union[str, Path]
+
+log = get_logger(__name__)
 
 
 def dataset_cache_path(cache_dir: PathLike, config: AnalysisConfig, *, tag: str = "all") -> Path:
@@ -66,7 +69,11 @@ def cached_dataset(
     """
     path = dataset_cache_path(cache_dir, config, tag=tag)
     if path.exists():
+        log.info("dataset cache hit %s", path)
+        metrics().counter_add("dataset_cache.hits", 1)
         return load_dataset(path)
+    log.info("dataset cache miss %s; building", path)
+    metrics().counter_add("dataset_cache.misses", 1)
     if benchmarks is None:
         benchmarks = all_benchmarks()
     feature_cache = (
@@ -103,7 +110,11 @@ def cached_characterization(
     """
     path = characterization_cache_path(cache_dir, config, tag=tag)
     if path.exists():
+        log.info("characterization cache hit %s", path)
+        metrics().counter_add("characterization_cache.hits", 1)
         return load_characterization(path)
+    log.info("characterization cache miss %s; running", path)
+    metrics().counter_add("characterization_cache.misses", 1)
     dataset = cached_dataset(
         config, cache_dir, benchmarks=benchmarks, tag=tag, progress=progress
     )

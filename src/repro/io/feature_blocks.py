@@ -28,8 +28,11 @@ import numpy as np
 
 from ..config import AnalysisConfig
 from ..mica import N_FEATURES
+from ..obs import get_logger, metrics
 
 PathLike = Union[str, Path]
+
+log = get_logger(__name__)
 
 
 class FeatureBlockCache:
@@ -50,16 +53,23 @@ class FeatureBlockCache:
         treated as a miss (it will be rewritten on the next store).
         """
         path = self.path(benchmark_key, config)
+        reg = metrics()
         if not path.exists():
+            reg.counter_add("feature_blocks.block_misses", 1)
             return {}
         try:
             with np.load(path) as data:
                 indices = data["indices"]
                 vectors = data["vectors"]
         except (OSError, ValueError, KeyError):
+            log.warning("corrupt feature block %s treated as a miss", path)
+            reg.counter_add("feature_blocks.block_misses", 1)
             return {}
         if vectors.ndim != 2 or vectors.shape != (len(indices), N_FEATURES):
+            log.warning("malformed feature block %s treated as a miss", path)
+            reg.counter_add("feature_blocks.block_misses", 1)
             return {}
+        reg.counter_add("feature_blocks.block_hits", 1)
         return {int(idx): vectors[j] for j, idx in enumerate(indices)}
 
     def store(
@@ -88,3 +98,7 @@ class FeatureBlockCache:
             except OSError:
                 pass
             raise
+        metrics().counter_add("feature_blocks.stores", 1)
+        log.debug(
+            "stored %d vectors (%d new) into %s", len(indices), len(entries), path
+        )

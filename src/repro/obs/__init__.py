@@ -1,0 +1,94 @@
+"""Zero-dependency observability: spans, metrics, logging, run reports.
+
+The pipeline's window into itself.  Four pieces, stdlib-only:
+
+* **Spans** (:mod:`repro.obs.spans`) — hierarchical wall/CPU timings
+  (``with span("kmeans.restart", restart=3): ...``), nestable, safe
+  across the serial/thread/process executors: worker-side spans travel
+  back with task results and are merged under the parent span exactly
+  once, in submission order.
+* **Metrics** (:mod:`repro.obs.metrics`) — a thread-safe registry of
+  counters, gauges and fixed-bucket histograms absorbing the signals
+  the pipeline computes anyway (k-means skipped-row ratio, GA
+  fitness-cache hit rate, feature-block cache hits, per-meter
+  throughput, PCA retention, BIC per restart).
+* **Logging** (:mod:`repro.obs.log`) — stdlib ``logging`` with run-id
+  stamped JSON and console formatters, replacing bare ``print()`` in
+  library code.
+* **Run reports** (:mod:`repro.obs.report`) — one JSON document per
+  ``characterize`` invocation (config digest, git SHA, platform, span
+  tree, final metrics), written via ``--run-report`` and rendered by
+  ``repro report``.
+
+Everything is inert until :func:`observe` installs an observation:
+with none active, :func:`span` and :func:`metrics` return shared
+no-ops, results are bit-identical either way, and the enabled-path
+overhead is gated under 2% by ``benchmarks/bench_obs_overhead.py``.
+Naming conventions and the report schema live in
+``docs/observability.md``.
+"""
+
+from .bench import emit_bench
+from .log import (
+    ConsoleFormatter,
+    JsonFormatter,
+    RunIdFilter,
+    configure_logging,
+    get_logger,
+)
+from .metrics import DEFAULT_BUCKETS, NOOP_REGISTRY, MetricsRegistry, NoopMetricsRegistry
+from .report import (
+    REQUIRED_KEYS,
+    SCHEMA_VERSION,
+    STAGES,
+    build_report,
+    load_report,
+    missing_stages,
+    render_report,
+    validate_report,
+    write_report,
+)
+from .spans import (
+    Observation,
+    Snapshot,
+    Span,
+    active,
+    capture,
+    current,
+    metrics,
+    new_run_id,
+    observe,
+    span,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "NOOP_REGISTRY",
+    "REQUIRED_KEYS",
+    "SCHEMA_VERSION",
+    "STAGES",
+    "ConsoleFormatter",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "NoopMetricsRegistry",
+    "Observation",
+    "RunIdFilter",
+    "Snapshot",
+    "Span",
+    "active",
+    "build_report",
+    "capture",
+    "configure_logging",
+    "current",
+    "emit_bench",
+    "get_logger",
+    "load_report",
+    "metrics",
+    "missing_stages",
+    "new_run_id",
+    "observe",
+    "render_report",
+    "span",
+    "validate_report",
+    "write_report",
+]

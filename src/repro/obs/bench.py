@@ -1,0 +1,50 @@
+"""BENCH-line emission through the metrics registry.
+
+The benchmark harness has always printed one ``BENCH {json}`` line per
+experiment so results are machine-collectable from CI logs.
+:func:`emit_bench` keeps that contract and additionally folds the
+payload's numeric fields into the active observation's registry as
+``bench.<name>.<key>`` gauges — so a run report written around a bench
+run carries the same numbers the BENCH line published, and a bench that
+runs inside ``--run-report`` needs no side channel.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, Dict, Optional
+
+from .spans import metrics
+
+__all__ = ["emit_bench"]
+
+
+def emit_bench(
+    name: str,
+    payload: Dict[str, Any],
+    *,
+    report: Optional[Callable[[str, str], Any]] = None,
+    echo: Callable[[str], Any] = print,
+) -> Dict[str, Any]:
+    """Publish one benchmark result everywhere it is consumed.
+
+    * prints the ``BENCH {json}`` line (via ``echo``);
+    * writes ``<name>.json`` through ``report`` when given (the
+      benchmark harness's per-experiment report writer);
+    * records every numeric payload field as a ``bench.<name>.<key>``
+      gauge in the active metrics registry (no-op when none is active).
+
+    The payload is returned unchanged with ``bench`` filled in, so
+    callers can build it without repeating the name.
+    """
+    payload = {"bench": name, **payload}
+    reg = metrics()
+    for key, value in payload.items():
+        if isinstance(value, bool):
+            reg.gauge_set(f"bench.{name}.{key}", float(value))
+        elif isinstance(value, (int, float)):
+            reg.gauge_set(f"bench.{name}.{key}", value)
+    if report is not None:
+        report(f"{name}.json", json.dumps(payload, indent=2))
+    echo("BENCH " + json.dumps(payload))
+    return payload

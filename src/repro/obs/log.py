@@ -1,0 +1,149 @@
+"""Structured logging for library code.
+
+Library modules obtain loggers with :func:`get_logger` and emit
+progress/status through them instead of ``print()``; nothing reaches
+the terminal until an application (the CLI, a benchmark harness)
+calls :func:`configure_logging`.  Two formatters are provided:
+
+* :class:`ConsoleFormatter` — a terse human-readable line
+  (``12:34:56 info  repro.core.dataset: characterized ...``);
+* :class:`JsonFormatter` — one JSON object per line with timestamp,
+  level, logger, message, and the run id, for machine collection.
+
+Every record is stamped with a **run id** by :class:`RunIdFilter`: the
+id of the active observation (:func:`repro.obs.current`) when one is
+installed, else the id passed to :func:`configure_logging`, else
+``"-"``.  The CLI maps ``--verbose`` onto the log level, replacing the
+``print``-callback plumbing that used to thread through
+``build_dataset`` / ``run_characterization``.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Optional, TextIO, Union
+
+from . import spans
+
+__all__ = [
+    "ConsoleFormatter",
+    "JsonFormatter",
+    "RunIdFilter",
+    "configure_logging",
+    "get_logger",
+]
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "repro"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace.
+
+    Pass ``__name__``; module paths already under ``repro.`` are used
+    as-is, anything else is nested beneath the root.
+    """
+    if name == ROOT_LOGGER or name.startswith(ROOT_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")
+
+
+# The root library logger stays silent (no "no handler" warnings)
+# until configure_logging attaches a real handler.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+class RunIdFilter(logging.Filter):
+    """Stamp each record with the current run id (``record.run_id``)."""
+
+    def __init__(self, default_run_id: Optional[str] = None) -> None:
+        super().__init__()
+        self.default_run_id = default_run_id
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        ob = spans.current()
+        record.run_id = (
+            ob.run_id if ob is not None else (self.default_run_id or "-")
+        )
+        return True
+
+
+class ConsoleFormatter(logging.Formatter):
+    """``HH:MM:SS level logger: message`` — the human-facing format."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        ts = time.strftime("%H:%M:%S", time.localtime(record.created))
+        return (
+            f"{ts} {record.levelname.lower():<7s} "
+            f"{record.name}: {record.getMessage()}"
+        )
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line, run-id stamped — the machine format."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "run_id": getattr(record, "run_id", "-"),
+            "message": record.getMessage(),
+        }
+        if record.exc_info:
+            doc["exception"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=True)
+
+
+def configure_logging(
+    level: Union[int, str] = "warning",
+    *,
+    stream: Optional[TextIO] = None,
+    json_format: bool = False,
+    run_id: Optional[str] = None,
+) -> logging.Handler:
+    """Attach one handler to the library's root logger.
+
+    Replaces any handler a previous call installed (idempotent for
+    CLI/test use).  Returns the handler so tests can detach it.
+
+    Args:
+        level: threshold, as a ``logging`` constant or one of
+            ``debug | info | warning | error``.
+        stream: destination; defaults to ``sys.stderr`` so the CLI's
+            stdout tables stay clean.
+        json_format: emit :class:`JsonFormatter` lines instead of the
+            human console format.
+        run_id: run id stamped on records when no observation is
+            active.
+    """
+    if isinstance(level, str):
+        try:
+            level = _LEVELS[level.lower()]
+        except KeyError:
+            raise ValueError(
+                f"unknown log level {level!r} (choose from {sorted(_LEVELS)})"
+            ) from None
+    root = logging.getLogger(ROOT_LOGGER)
+    for handler in list(root.handlers):
+        if isinstance(handler, logging.NullHandler):
+            continue
+        if getattr(handler, "_repro_obs_handler", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    handler.setFormatter(JsonFormatter() if json_format else ConsoleFormatter())
+    handler.addFilter(RunIdFilter(run_id))
+    root.addHandler(handler)
+    root.setLevel(level)
+    return handler

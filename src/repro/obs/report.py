@@ -1,0 +1,283 @@
+"""The run report: one JSON document per pipeline invocation.
+
+A run report captures everything needed to compare two runs after the
+fact — what was run (config digest and fields, git SHA, platform),
+where the time went (the full span tree), and what the counters saw
+(final metric values).  ``repro characterize --run-report PATH`` writes
+one; ``repro report PATH`` renders it as a text summary.
+
+Schema (version 1), top-level keys — all required
+(:data:`REQUIRED_KEYS`, checked by :func:`validate_report` and the CI
+schema smoke step):
+
+``schema_version``
+    integer, currently ``1``.
+``run_id``
+    the observation's run id.
+``created``
+    unix timestamp of report creation.
+``command``
+    what produced the report (e.g. ``"characterize"``).
+``config``
+    ``{"digest": AnalysisConfig.full_key(), "fields": {...}}`` — the
+    digest excludes execution knobs, so two reports with one digest
+    computed the same result.
+``environment``
+    python/numpy versions, platform string, and the git SHA when the
+    working tree is a repository (else ``null``).
+``spans``
+    the root span as nested ``{name, attrs, wall_s, cpu_s, children}``
+    dicts (see :class:`repro.obs.Span`).
+``metrics``
+    a :meth:`~repro.obs.MetricsRegistry.snapshot` —
+    ``{"counters", "gauges", "histograms"}``.
+
+The six methodology stages appear in every complete characterization
+report as span names :data:`STAGES` = ``mica``, ``sampling``, ``pca``,
+``kmeans``, ``prominent``, ``ga``; :func:`missing_stages` checks for
+them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import platform as _platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .spans import Observation, Span
+
+__all__ = [
+    "REQUIRED_KEYS",
+    "SCHEMA_VERSION",
+    "STAGES",
+    "build_report",
+    "git_sha",
+    "load_report",
+    "missing_stages",
+    "render_report",
+    "validate_report",
+    "write_report",
+]
+
+SCHEMA_VERSION = 1
+
+#: Required top-level keys, in rendering order.
+REQUIRED_KEYS = (
+    "schema_version",
+    "run_id",
+    "created",
+    "command",
+    "config",
+    "environment",
+    "spans",
+    "metrics",
+)
+
+#: Span names of the paper's six methodology stages.
+STAGES = ("mica", "sampling", "pca", "kmeans", "prominent", "ga")
+
+PathLike = Union[str, Path]
+
+
+def git_sha(cwd: Optional[PathLike] = None) -> Optional[str]:
+    """The current git commit SHA, or None outside a repository."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=str(cwd) if cwd is not None else None,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def _environment() -> Dict[str, Any]:
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "python": sys.version.split()[0],
+        "numpy": numpy_version,
+        "platform": _platform.platform(),
+        "git_sha": git_sha(),
+    }
+
+
+def build_report(
+    observation: Observation,
+    *,
+    config: Any = None,
+    command: str = "characterize",
+) -> Dict[str, Any]:
+    """Assemble the report document from a finished observation.
+
+    Args:
+        observation: the run's telemetry; its clocks are closed here.
+        config: the :class:`~repro.config.AnalysisConfig` (or any
+            dataclass with a ``full_key``); omitted fields leave the
+            config section empty but present.
+        command: the producing command, recorded verbatim.
+    """
+    observation.finish()
+    config_doc: Dict[str, Any] = {"digest": None, "fields": {}}
+    if config is not None:
+        if hasattr(config, "full_key"):
+            config_doc["digest"] = config.full_key()
+        if dataclasses.is_dataclass(config):
+            config_doc["fields"] = dataclasses.asdict(config)
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "run_id": observation.run_id,
+        "created": time.time(),
+        "command": command,
+        "config": config_doc,
+        "environment": _environment(),
+        "spans": observation.root.to_dict(),
+        "metrics": observation.metrics.snapshot(),
+    }
+
+
+def write_report(path: PathLike, report: Dict[str, Any]) -> Path:
+    """Write a report as indented JSON; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: PathLike) -> Dict[str, Any]:
+    """Read a report written by :func:`write_report`."""
+    return json.loads(Path(path).read_text())
+
+
+def validate_report(report: Dict[str, Any]) -> List[str]:
+    """Structural problems with a report document; empty means valid.
+
+    Checks the required top-level keys, the schema version, and that
+    the span/metric sections have the expected shape.  This is the
+    check CI's schema smoke step runs against the tiny-preset report.
+    """
+    problems = []
+    for key in REQUIRED_KEYS:
+        if key not in report:
+            problems.append(f"missing required key {key!r}")
+    if problems:
+        return problems
+    if report["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {report['schema_version']!r} != {SCHEMA_VERSION}"
+        )
+    spans = report["spans"]
+    if not isinstance(spans, dict) or "name" not in spans or "children" not in spans:
+        problems.append("spans is not a span tree")
+    metrics = report["metrics"]
+    if not isinstance(metrics, dict):
+        problems.append("metrics is not a mapping")
+    else:
+        for section in ("counters", "gauges", "histograms"):
+            if section not in metrics:
+                problems.append(f"metrics missing section {section!r}")
+    if not isinstance(report["config"], dict) or "digest" not in report["config"]:
+        problems.append("config missing digest")
+    return problems
+
+
+def missing_stages(report: Dict[str, Any]) -> List[str]:
+    """Methodology stages (:data:`STAGES`) absent from the span tree."""
+    names = Span.from_dict(report["spans"]).names()
+    return [stage for stage in STAGES if stage not in names]
+
+
+# --- text rendering ------------------------------------------------------
+
+
+def _fmt(value: Any) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "-"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.6g}"
+    return str(value)
+
+
+def _render_span(node: Span, lines: List[str], depth: int, max_children: int) -> None:
+    attrs = ""
+    if node.attrs:
+        attrs = " [" + ", ".join(f"{k}={_fmt(v)}" for k, v in node.attrs.items()) + "]"
+    lines.append(
+        f"  {'  ' * depth}{node.name:<{max(1, 28 - 2 * depth)}s} "
+        f"{node.wall_s * 1e3:9.1f} {node.cpu_s * 1e3:9.1f}{attrs}"
+    )
+    shown = node.children[:max_children]
+    for child in shown:
+        _render_span(child, lines, depth + 1, max_children)
+    hidden = len(node.children) - len(shown)
+    if hidden > 0:
+        lines.append(f"  {'  ' * (depth + 1)}... {hidden} more spans elided")
+
+
+def render_report(report: Dict[str, Any], *, max_children: int = 12) -> str:
+    """A terminal-friendly summary: header, span tree, metric tables.
+
+    Sibling spans beyond ``max_children`` are elided with a count (a
+    paper-scale run has one span per benchmark per stage).
+    """
+    from ..io import format_table  # local import: io is a sibling package
+
+    env = report["environment"]
+    lines = [
+        f"run report {report['run_id']}  ({report['command']}, schema v{report['schema_version']})",
+        f"config digest {report['config'].get('digest') or '-'}  "
+        f"git {env.get('git_sha') or '-'}  "
+        f"python {env.get('python') or '-'}  numpy {env.get('numpy') or '-'}",
+        "",
+        "spans" + " " * 25 + "  wall ms    cpu ms",
+    ]
+    _render_span(Span.from_dict(report["spans"]), lines, 0, max_children)
+
+    metrics = report["metrics"]
+    counters = metrics.get("counters", {})
+    if counters:
+        rows = [[name, _fmt(value)] for name, value in sorted(counters.items())]
+        lines += ["", "counters", format_table(["name", "value"], rows)]
+    gauges = metrics.get("gauges", {})
+    if gauges:
+        rows = [[name, _fmt(value)] for name, value in sorted(gauges.items())]
+        lines += ["", "gauges", format_table(["name", "value"], rows)]
+    histograms = metrics.get("histograms", {})
+    if histograms:
+        rows = [
+            [
+                name,
+                _fmt(h.get("count")),
+                _fmt(h.get("mean")),
+                _fmt(h.get("p50")),
+                _fmt(h.get("p90")),
+                _fmt(h.get("min")),
+                _fmt(h.get("max")),
+            ]
+            for name, h in sorted(histograms.items())
+        ]
+        lines += [
+            "",
+            "histograms",
+            format_table(["name", "count", "mean", "p50", "p90", "min", "max"], rows),
+        ]
+    stages = missing_stages(report)
+    if stages:
+        lines += ["", "note: missing methodology stages: " + ", ".join(stages)]
+    return "\n".join(lines) + "\n"

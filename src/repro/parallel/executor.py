@@ -17,6 +17,16 @@ memory rather than pickling.  Where ``fork`` is unavailable (or
 ``multiprocessing`` itself is broken), :func:`get_executor` degrades
 gracefully: ``process`` falls back to serial execution and ``auto``
 picks threads, so callers never have to special-case the platform.
+
+When an observation is active (:func:`repro.obs.active`), every task
+runs inside :class:`repro.obs.capture` — an isolated worker-side span
+tree and metrics registry whose snapshot travels back with the task
+result — and :meth:`Executor.map` merges each snapshot under the
+caller's current span **exactly once**, in submission order.  The span
+tree and all counter totals are therefore identical for any backend or
+worker count; a failed chunk's surviving snapshots are merged once too
+(never re-merged on the error path), and nothing is emitted at all
+when observation is off.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import traceback
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..obs import spans as _obs
 from .chunking import chunk_bounds
 
 #: Recognised backend names, in the order we document them.
@@ -54,6 +65,15 @@ class WorkerError(RuntimeError):
 
 def _run_one(fn: TaskFn, payload: Any, task: Any, label: str) -> _Outcome:
     try:
+        if _obs.active():
+            # Collect the task's spans/metrics into an isolated worker
+            # observation that rides back with the result and is merged
+            # (once) by Executor.map in submission order.  Same-process
+            # backends hand over the live object; crossing the fork
+            # boundary pickles it into a plain-dict Snapshot.
+            with _obs.capture(label) as worker:
+                result = fn(payload, task)
+            return ("ok", result, worker)
         return ("ok", fn(payload, task))
     except Exception as exc:
         return ("err", label, f"{type(exc).__name__}: {exc}", traceback.format_exc())
@@ -143,11 +163,17 @@ class Executor:
             for start, stop in chunk_bounds(len(labeled), chunk_size=chunk_size)
         ]
         results: List[Any] = []
+        parent = _obs.current()
         for outcomes in self._imap_chunks(fn, payload, chunks):
             for outcome in outcomes:
                 if outcome[0] == "err":
                     _, label, message, details = outcome
                     raise WorkerError(label, message, details)
+                # A 3-tuple carries a worker telemetry snapshot; graft
+                # it under the caller's current span here — and only
+                # here — so each task's metrics count exactly once.
+                if len(outcome) == 3 and parent is not None:
+                    parent.merge_snapshot(outcome[2])
                 results.append(outcome[1])
                 if on_result is not None:
                     on_result(len(results) - 1, outcome[1])

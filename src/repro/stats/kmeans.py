@@ -33,6 +33,8 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import active as obs_active
+from ..obs import metrics, span
 from ..parallel import Executor, generator_from_seed, get_executor, task_seeds
 from .bic import kmeans_bic
 from .distance import distances_to
@@ -142,16 +144,35 @@ def _lloyd(
 
 
 def _run_restart(payload, seed: int):
-    """One independent restart (executor task body): init, Lloyd, BIC."""
+    """One independent restart (executor task body): init, Lloyd, BIC.
+
+    When an observation is active, the restart runs under a
+    ``kmeans.restart`` span and the accelerated engine's
+    distance-evaluation accounting (rows skipped, full refreshes) is
+    folded into the metrics registry.  Collection only reads values
+    the fit computed anyway, so results are bit-identical either way.
+    """
     points, k, max_iter, use_reference = payload
     rng = generator_from_seed(seed)
     init_idx = rng.choice(len(points), size=k, replace=False)
-    if use_reference:
-        fit = _lloyd(points, points[init_idx], max_iter)
-    else:
-        fit = lloyd_accelerated(points, points[init_idx], max_iter)
-    centers, labels, inertia, n_iter, assigned_sq = fit
-    bic = kmeans_bic(points, labels, centers, assigned_sq=assigned_sq)
+    stats = EngineStats() if (obs_active() and not use_reference) else None
+    with span("kmeans.restart") as sp:
+        if use_reference:
+            fit = _lloyd(points, points[init_idx], max_iter)
+        else:
+            fit = lloyd_accelerated(points, points[init_idx], max_iter, stats=stats)
+        centers, labels, inertia, n_iter, assigned_sq = fit
+        bic = kmeans_bic(points, labels, centers, assigned_sq=assigned_sq)
+        sp.set(bic=bic, inertia=inertia, n_iter=n_iter)
+    reg = metrics()
+    reg.histogram_observe("kmeans.restart_bic", bic)
+    reg.counter_add("kmeans.restarts", 1)
+    reg.counter_add("kmeans.iterations", n_iter)
+    if stats is not None:
+        reg.counter_add("kmeans.point_rows_total", stats.point_rows_total)
+        reg.counter_add("kmeans.point_rows_computed", stats.point_rows_computed)
+        reg.counter_add("kmeans.tighten_evals", stats.tighten_evals)
+        reg.counter_add("kmeans.full_refreshes", stats.full_refreshes)
     return centers, labels, inertia, n_iter, bic, assigned_sq
 
 
@@ -229,6 +250,15 @@ def kmeans(
                 assigned_sq=assigned_sq,
             )
     assert best is not None  # restarts >= 1 guarantees at least one run
+    reg = metrics()
+    total = reg.counter_value("kmeans.point_rows_total")
+    if total > 0:
+        # Cumulative across every restart merged into this registry so
+        # far: the fraction of full distance rows the triangle-
+        # inequality bounds eliminated.
+        computed = reg.counter_value("kmeans.point_rows_computed")
+        reg.gauge_set("kmeans.skipped_row_ratio", 1.0 - computed / total)
+    reg.gauge_set("kmeans.best_bic", best.bic)
     return best
 
 

@@ -103,13 +103,18 @@ class EngineStats:
     would evaluate (one full k-wide distance row each);
     ``point_rows_computed`` counts the rows the engine actually
     computed.  ``tighten_evals`` are single point-to-center distance
-    refinements (one evaluation, not k).
+    refinements (one evaluation, not k).  ``full_refreshes`` counts
+    iterations where bounds existed but the engine re-evaluated every
+    point anyway — the adaptive refresh when most points are
+    uncertified, plus the exact re-ranking a reseed forces — a rising
+    count flags a workload the bounds are not earning their keep on.
     """
 
     iterations: int = 0
     point_rows_total: int = 0
     point_rows_computed: int = 0
     tighten_evals: int = 0
+    full_refreshes: int = 0
     runs: int = 0
 
     @property
@@ -326,6 +331,7 @@ def lloyd_accelerated(
                 full_pass = True
                 if stats is not None:
                     stats.point_rows_computed += n
+                    stats.full_refreshes += 1
             else:
                 new_labels = labels.copy()
             if not full_pass and len(candidates):
@@ -367,6 +373,7 @@ def lloyd_accelerated(
                 counts = np.bincount(new_labels, minlength=k)
                 if stats is not None:
                     stats.point_rows_computed += n
+                    stats.full_refreshes += 1
             rows = reseed_empty_clusters(
                 points, centers, new_labels, upper, counts
             )

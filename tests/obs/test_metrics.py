@@ -1,0 +1,130 @@
+"""Metrics registry: instruments, thread-safety, snapshot/merge."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import MetricsRegistry, NoopMetricsRegistry
+
+
+def test_counter_add_and_read():
+    reg = MetricsRegistry()
+    reg.counter_add("a")
+    reg.counter_add("a", 2.5)
+    assert reg.counter_value("a") == 3.5
+    assert reg.counter_value("missing") == 0.0
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    reg.gauge_set("g", 1.0)
+    reg.gauge_set("g", 7.0)
+    assert reg.gauge_value("g") == 7.0
+    assert math.isnan(reg.gauge_value("missing"))
+
+
+def test_histogram_summary_statistics():
+    reg = MetricsRegistry()
+    for v in [0.001, 0.002, 0.004, 0.1, 10.0]:
+        reg.histogram_observe("h", v)
+    snap = reg.snapshot()["histograms"]["h"]
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(10.107)
+    assert snap["min"] == 0.001
+    assert snap["max"] == 10.0
+    assert snap["mean"] == pytest.approx(10.107 / 5)
+    # quantiles are bucket-approximate but clamped to observed range
+    assert snap["min"] <= snap["p50"] <= snap["max"]
+    assert snap["p50"] <= snap["p90"] <= snap["max"]
+
+
+def test_histogram_single_value_quantiles_exact():
+    reg = MetricsRegistry()
+    reg.histogram_observe("h", 0.25)
+    snap = reg.snapshot()["histograms"]["h"]
+    assert snap["p50"] == 0.25
+    assert snap["p90"] == 0.25
+
+
+def test_histogram_custom_bounds_and_mismatch():
+    reg = MetricsRegistry()
+    reg.histogram_observe("h", 5.0, bounds=(1.0, 10.0))
+    snap = reg.snapshot()["histograms"]["h"]
+    assert snap["bounds"] == [1.0, 10.0]
+    assert sum(snap["bucket_counts"]) == 1
+    other = MetricsRegistry()
+    other.histogram_observe("h", 1.0)  # default bounds
+    with pytest.raises(ValueError):
+        other.merge(reg.snapshot())
+
+
+def test_histogram_values_outside_bounds_go_to_overflow():
+    reg = MetricsRegistry()
+    reg.histogram_observe("h", 99.0, bounds=(1.0, 2.0))
+    snap = reg.snapshot()["histograms"]["h"]
+    assert snap["bucket_counts"][-1] == 1
+    assert snap["p90"] == 99.0  # clamped to the exact max
+
+
+def test_counters_thread_safe_exact_total():
+    reg = MetricsRegistry()
+    n_threads, per_thread = 8, 5000
+
+    def work():
+        for _ in range(per_thread):
+            reg.counter_add("hits")
+
+    threads = [threading.Thread(target=work) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert reg.counter_value("hits") == n_threads * per_thread
+
+
+def test_snapshot_merge_adds_counters_and_buckets():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.counter_add("c", 1)
+    b.counter_add("c", 2)
+    b.counter_add("only_b", 5)
+    a.gauge_set("g", 1.0)
+    b.gauge_set("g", 2.0)
+    a.histogram_observe("h", 0.5)
+    b.histogram_observe("h", 0.7)
+    a.merge(b.snapshot())
+    assert a.counter_value("c") == 3
+    assert a.counter_value("only_b") == 5
+    assert a.gauge_value("g") == 2.0  # merged value wins
+    assert a.snapshot()["histograms"]["h"]["count"] == 2
+
+
+def test_merge_same_snapshot_twice_double_counts():
+    # The registry itself does not dedupe — exactly-once is the
+    # executor's contract (tested in tests/obs/test_executor_obs.py).
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    b.counter_add("c", 2)
+    snap = b.snapshot()
+    a.merge(snap)
+    a.merge(snap)
+    assert a.counter_value("c") == 4
+
+
+def test_noop_registry_records_nothing():
+    reg = NoopMetricsRegistry()
+    reg.counter_add("c", 5)
+    reg.gauge_set("g", 1.0)
+    reg.histogram_observe("h", 1.0)
+    reg.merge({"counters": {"c": 9}, "gauges": {}, "histograms": {}})
+    snap = reg.snapshot()
+    assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_quantile_argument_validation():
+    reg = MetricsRegistry()
+    reg.histogram_observe("h", 1.0)
+    with pytest.raises(ValueError):
+        reg.histogram_quantile("h", 1.5)
+    assert math.isnan(reg.histogram_quantile("missing", 0.5))

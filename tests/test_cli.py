@@ -110,6 +110,67 @@ def test_subset_prints_trajectory(characterization_file, capsys):
     assert out.count("%") >= 4
 
 
+def test_characterize_writes_run_report(tmp_path, capsys):
+    from repro.obs import load_report, missing_stages, validate_report
+
+    report_path = tmp_path / "run.json"
+    assert (
+        main(
+            [
+                "characterize",
+                str(tmp_path / "c.npz"),
+                "--preset",
+                "tiny",
+                "--suite",
+                "BMW",
+                "--run-report",
+                str(report_path),
+            ]
+        )
+        == 0
+    )
+    report = load_report(report_path)
+    assert validate_report(report) == []
+    assert missing_stages(report) == []
+    assert report["command"] == "characterize"
+    assert report["config"]["digest"]
+    assert report["metrics"]["counters"]["kmeans.restarts"] > 0
+    assert 0.0 < report["metrics"]["gauges"]["kmeans.skipped_row_ratio"] < 1.0
+    capsys.readouterr()
+
+
+def test_report_renders_run_report(tmp_path, capsys):
+    report_path = tmp_path / "run.json"
+    main(
+        [
+            "characterize",
+            str(tmp_path / "c.npz"),
+            "--preset",
+            "tiny",
+            "--suite",
+            "BMW",
+            "--no-ga",
+            "--run-report",
+            str(report_path),
+        ]
+    )
+    capsys.readouterr()
+    assert main(["report", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "run report" in out
+    assert "characterize" in out
+    assert "kmeans" in out
+    assert "counters" in out
+
+
+def test_report_rejects_invalid_document(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"run_id": "x"}')
+    assert main(["report", str(bad)]) == 1
+    err = capsys.readouterr().err
+    assert "missing required key" in err
+
+
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
