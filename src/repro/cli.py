@@ -22,6 +22,7 @@ docs/observability.md).
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -30,6 +31,8 @@ from . import obs
 from .config import AnalysisConfig
 from .core import (
     build_dataset,
+    dataset_arrays,
+    dataset_from_arrays,
     load_characterization,
     run_characterization,
     save_characterization,
@@ -74,6 +77,14 @@ def _select_benchmarks(suite_names: Optional[List[str]]):
     return benches
 
 
+def _suite_tag(suite_names: Optional[List[str]]) -> str:
+    """A filesystem-safe tag for the benchmark selection."""
+    if not suite_names:
+        return "all"
+    joined = "+".join(sorted(set(suite_names)))
+    return re.sub(r"[^A-Za-z0-9._+-]", "_", joined)
+
+
 def _cmd_characterize(args: argparse.Namespace) -> int:
     config = _preset(args.preset)
     try:
@@ -97,6 +108,16 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         json_format=args.log_json,
         run_id=run_id,
     )
+    # Stage-level crash safety: dataset -> analysis -> GA each land
+    # atomically in <output>.stages/ as they complete.  With --resume
+    # (the default) a re-run of a killed invocation picks up from the
+    # last finished stage; --no-resume recomputes every stage but still
+    # writes checkpoints, so the *next* run can resume.
+    from .io import StageCheckpoint
+
+    stage_root = Path(f"{args.output}.stages")
+    run_key = f"{_suite_tag(args.suite)}_{config.full_key()}"
+    checkpoint = StageCheckpoint(stage_root, run_key, resume=args.resume)
     print(f"characterizing {len(benches)} benchmarks at preset {args.preset!r}...")
     # --run-report turns telemetry collection on; without it the obs
     # layer stays a no-op and the results are bit-identical either way.
@@ -104,8 +125,19 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     context = obs.observe(run_id=run_id) if args.run_report else _inert()
     with context as observation:
         with obs.span("characterize", preset=args.preset, benchmarks=len(benches)):
-            dataset = build_dataset(benches, config, feature_cache=feature_cache)
-            result = run_characterization(dataset, config, select_key=not args.no_ga)
+            loaded = checkpoint.load(
+                "dataset",
+                require_arrays=("features", "suites", "benchmarks", "interval_indices"),
+            )
+            if loaded is not None:
+                dataset = dataset_from_arrays(loaded[0])
+                print(f"resumed dataset stage from {checkpoint.path('dataset')}")
+            else:
+                dataset = build_dataset(benches, config, feature_cache=feature_cache)
+                checkpoint.save("dataset", dataset_arrays(dataset))
+            result = run_characterization(
+                dataset, config, select_key=not args.no_ga, checkpoint=checkpoint
+            )
     save_characterization(result, args.output)
     if args.run_report:
         doc = obs.build_report(observation, config=config, command="characterize")
@@ -321,6 +353,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="per-benchmark feature-block cache directory; reruns only "
         "characterize intervals no earlier run has touched",
+    )
+    p.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="resume from the stage checkpoints in <output>.stages/ "
+        "left by a killed or completed run with the same configuration "
+        "(--no-resume recomputes every stage; checkpoints are still "
+        "written either way). Results are bit-identical with or "
+        "without resume.",
     )
     p.set_defaults(func=_cmd_characterize)
 

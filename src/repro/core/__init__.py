@@ -4,6 +4,8 @@ from .dataset import WorkloadDataset, build_dataset
 from .pipeline import PhaseCharacterization, run_characterization
 from .prominent import ProminentPhases, select_prominent_phases
 from .results import (
+    dataset_arrays,
+    dataset_from_arrays,
     load_characterization,
     load_dataset,
     save_characterization,
@@ -16,6 +18,8 @@ __all__ = [
     "ProminentPhases",
     "WorkloadDataset",
     "build_dataset",
+    "dataset_arrays",
+    "dataset_from_arrays",
     "load_characterization",
     "load_dataset",
     "run_characterization",

@@ -16,9 +16,12 @@ Steps 1-2 are performed by :func:`repro.core.dataset.build_dataset`;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # import-time cycle: repro.io.cache imports repro.core
+    from ..io.artifacts import StageCheckpoint
 
 from ..config import AnalysisConfig
 from ..ga import DistanceCorrelationFitness, GAResult, select_features
@@ -64,12 +67,70 @@ class PhaseCharacterization:
         return self.dataset.features[self.prominent.representative_rows]
 
 
+_ANALYSIS_ARRAYS = (
+    "space",
+    "labels",
+    "centers",
+    "prominent_cluster_ids",
+    "prominent_weights",
+    "prominent_representatives",
+)
+_ANALYSIS_META = ("n_components", "explained_variance", "bic", "inertia", "n_iter")
+
+
+def _load_analysis_stage(checkpoint: Optional["StageCheckpoint"]):
+    """Unpack a checkpointed PCA/clustering/prominent stage, if any."""
+    if checkpoint is None:
+        return None
+    loaded = checkpoint.load(
+        "analysis", require_arrays=_ANALYSIS_ARRAYS, require_meta=_ANALYSIS_META
+    )
+    if loaded is None:
+        return None
+    arrays, meta = loaded
+    clustering = Clustering(
+        centers=arrays["centers"],
+        labels=arrays["labels"],
+        bic=float(meta["bic"]),
+        inertia=float(meta["inertia"]),
+        n_iter=int(meta["n_iter"]),
+    )
+    prominent = ProminentPhases(
+        cluster_ids=arrays["prominent_cluster_ids"],
+        weights=arrays["prominent_weights"],
+        representative_rows=arrays["prominent_representatives"],
+    )
+    return (
+        arrays["space"],
+        int(meta["n_components"]),
+        float(meta["explained_variance"]),
+        clustering,
+        prominent,
+    )
+
+
+def _load_ga_stage(checkpoint: Optional["StageCheckpoint"]) -> Optional[GAResult]:
+    """Unpack a checkpointed GA stage, if any."""
+    if checkpoint is None:
+        return None
+    loaded = checkpoint.load("ga", require_arrays=("mask",), require_meta=("fitness",))
+    if loaded is None:
+        return None
+    arrays, meta = loaded
+    return GAResult(
+        mask=arrays["mask"].astype(bool),
+        fitness=float(meta["fitness"]),
+        history=[float(h) for h in meta.get("history", [])],
+    )
+
+
 def run_characterization(
     dataset: WorkloadDataset,
     config: AnalysisConfig,
     *,
     select_key: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    checkpoint: Optional["StageCheckpoint"] = None,
 ) -> PhaseCharacterization:
     """Run PCA, clustering, prominent-phase selection and the GA.
 
@@ -88,74 +149,119 @@ def run_characterization(
             :mod:`repro.obs.log`, and the underlying numbers land in
             the metrics registry; the callback is kept as a thin
             adapter for backward compatibility.
+        checkpoint: optional :class:`repro.io.StageCheckpoint`.  The
+            PCA/clustering/prominent block (stage ``analysis``) and the
+            GA (stage ``ga``) are each persisted atomically as they
+            complete and, when the checkpoint allows resume, completed
+            stages are loaded instead of recomputed.  Results are
+            bit-identical with or without resume because every stage
+            draws from its own seeded RNG stream.
 
     Returns:
         The complete :class:`PhaseCharacterization`.
     """
-    with span("pca", rows=len(dataset)) as sp:
-        model = fit_pca(dataset.features).retained(config.pca_min_std)
-        scores = model.transform(dataset.features)
-        std = scores.std(axis=0)
-        scale = np.where(std > 0, std, 1.0)
-        space = (scores - scores.mean(axis=0)) / scale
-        explained = float(model.explained_ratio.sum())
-        sp.set(n_components=model.n_components, explained_variance=explained)
     reg = metrics()
-    reg.gauge_set("pca.n_components", model.n_components)
-    reg.gauge_set("pca.explained_variance", explained)
-    log.info(
-        "pca: retained %d components (%.1f%% variance)",
-        model.n_components,
-        100 * explained,
-    )
-
-    rng = generator("kmeans", config.seed)
-    with span("kmeans", k=config.n_clusters, restarts=config.kmeans_restarts) as sp:
-        clustering = kmeans(
-            space,
-            config.n_clusters,
-            restarts=config.kmeans_restarts,
-            max_iter=config.kmeans_max_iter,
-            rng=rng,
-            n_jobs=config.n_jobs,
-            backend=config.parallel_backend,
-            engine=config.kmeans_engine,
+    resumed = _load_analysis_stage(checkpoint)
+    if resumed is not None:
+        space, n_components, explained, clustering, prominent = resumed
+        log.info("analysis stage resumed from checkpoint")
+    else:
+        with span("pca", rows=len(dataset)) as sp:
+            model = fit_pca(dataset.features).retained(config.pca_min_std)
+            scores = model.transform(dataset.features)
+            std = scores.std(axis=0)
+            scale = np.where(std > 0, std, 1.0)
+            space = (scores - scores.mean(axis=0)) / scale
+            explained = float(model.explained_ratio.sum())
+            sp.set(n_components=model.n_components, explained_variance=explained)
+        n_components = model.n_components
+        reg.gauge_set("pca.n_components", n_components)
+        reg.gauge_set("pca.explained_variance", explained)
+        log.info(
+            "pca: retained %d components (%.1f%% variance)",
+            n_components,
+            100 * explained,
         )
-        sp.set(bic=clustering.bic, inertia=clustering.inertia, n_iter=clustering.n_iter)
-    log.info(
-        "kmeans: k=%d best BIC %.2f after %d restarts",
-        clustering.k,
-        clustering.bic,
-        config.kmeans_restarts,
-    )
-    with span("prominent", n=config.n_prominent) as sp:
-        prominent = select_prominent_phases(space, clustering, config.n_prominent)
-        sp.set(selected=len(prominent), coverage=prominent.coverage)
-    reg.gauge_set("prominent.coverage", prominent.coverage)
+
+        rng = generator("kmeans", config.seed)
+        with span("kmeans", k=config.n_clusters, restarts=config.kmeans_restarts) as sp:
+            clustering = kmeans(
+                space,
+                config.n_clusters,
+                restarts=config.kmeans_restarts,
+                max_iter=config.kmeans_max_iter,
+                rng=rng,
+                n_jobs=config.n_jobs,
+                backend=config.parallel_backend,
+                engine=config.kmeans_engine,
+            )
+            sp.set(bic=clustering.bic, inertia=clustering.inertia, n_iter=clustering.n_iter)
+        log.info(
+            "kmeans: k=%d best BIC %.2f after %d restarts",
+            clustering.k,
+            clustering.bic,
+            config.kmeans_restarts,
+        )
+        with span("prominent", n=config.n_prominent) as sp:
+            prominent = select_prominent_phases(space, clustering, config.n_prominent)
+            sp.set(selected=len(prominent), coverage=prominent.coverage)
+        reg.gauge_set("prominent.coverage", prominent.coverage)
+        if checkpoint is not None:
+            checkpoint.save(
+                "analysis",
+                {
+                    "space": space,
+                    "labels": clustering.labels,
+                    "centers": clustering.centers,
+                    "prominent_cluster_ids": prominent.cluster_ids,
+                    "prominent_weights": prominent.weights,
+                    "prominent_representatives": prominent.representative_rows,
+                },
+                meta={
+                    "n_components": n_components,
+                    "explained_variance": explained,
+                    "bic": clustering.bic,
+                    "inertia": clustering.inertia,
+                    "n_iter": clustering.n_iter,
+                },
+            )
 
     key_names: Optional[List[str]] = None
     ga_result: Optional[GAResult] = None
     if select_key:
-        with span("ga", n_select=config.n_key_characteristics) as sp:
-            fitness = DistanceCorrelationFitness(
-                dataset.features[prominent.representative_rows],
-                pca_min_std=config.pca_min_std,
-            )
-            ga_result = select_features(
-                fitness,
-                N_FEATURES,
-                config.n_key_characteristics,
-                config=config,
-                rng=generator("ga", config.seed),
-                progress=progress,
-            )
-            sp.set(fitness=ga_result.fitness, generations=ga_result.generations)
+        ga_result = _load_ga_stage(checkpoint)
+        if ga_result is not None:
+            log.info("ga stage resumed from checkpoint")
+        else:
+            with span("ga", n_select=config.n_key_characteristics) as sp:
+                fitness = DistanceCorrelationFitness(
+                    dataset.features[prominent.representative_rows],
+                    pca_min_std=config.pca_min_std,
+                )
+                ga_result = select_features(
+                    fitness,
+                    N_FEATURES,
+                    config.n_key_characteristics,
+                    config=config,
+                    rng=generator("ga", config.seed),
+                    progress=progress,
+                )
+                sp.set(fitness=ga_result.fitness, generations=ga_result.generations)
+            if checkpoint is not None:
+                checkpoint.save(
+                    "ga",
+                    {"mask": ga_result.mask},
+                    meta={
+                        "fitness": ga_result.fitness,
+                        "history": [float(h) for h in ga_result.history],
+                    },
+                )
         names = feature_names()
         key_names = [names[i] for i in ga_result.selected_indices()]
     return PhaseCharacterization(
         dataset=dataset,
         space=space,
-        n_components=model.n_components,
+        n_components=n_components,
         explained_variance=explained,
         clustering=clustering,
         prominent=prominent,

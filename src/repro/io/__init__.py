@@ -1,5 +1,17 @@
-"""Persistence helpers: dataset caching and text tables."""
+"""Persistence helpers: crash-safe artifacts, dataset caching, text tables."""
 
+from .artifacts import (
+    ArtifactError,
+    CorruptArtifact,
+    LockTimeout,
+    SchemaMismatch,
+    StageCheckpoint,
+    artifact_lock,
+    load_or_quarantine,
+    quarantine,
+    read_artifact,
+    write_artifact,
+)
 from .cache import (
     cached_characterization,
     cached_dataset,
@@ -11,11 +23,21 @@ from .feature_blocks import FeatureBlockCache
 from .tables import format_table
 
 __all__ = [
+    "ArtifactError",
+    "CorruptArtifact",
     "FeatureBlockCache",
+    "LockTimeout",
+    "SchemaMismatch",
+    "StageCheckpoint",
+    "artifact_lock",
     "cached_characterization",
     "cached_dataset",
     "characterization_cache_path",
     "dataset_cache_path",
     "feature_block_dir",
     "format_table",
+    "load_or_quarantine",
+    "quarantine",
+    "read_artifact",
+    "write_artifact",
 ]

@@ -3,6 +3,14 @@
 Paper-scale featurization takes minutes; the benchmark harness and the
 examples share a cache directory so a given configuration is
 characterized exactly once per machine.
+
+Every entry round-trips through the crash-safe artifact store
+(:mod:`repro.io.artifacts`): a hit is a *verified* load — a truncated,
+bit-flipped, or schema-mismatched file is quarantined to
+``<path>.corrupt-<ts>`` and rebuilt instead of crashing the run — and
+a miss single-flights the build under a cross-process advisory lock,
+so concurrent processes sharing a cache directory compute each
+artifact exactly once.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from ..core import (
 )
 from ..obs import get_logger, metrics
 from ..suites import Benchmark, all_benchmarks
+from .artifacts import artifact_lock, load_or_quarantine
 from .feature_blocks import FeatureBlockCache
 
 PathLike = Union[str, Path]
@@ -40,6 +49,11 @@ def feature_block_dir(cache_dir: PathLike) -> Path:
     return Path(cache_dir) / "feature_blocks"
 
 
+def _load_valid_dataset(path: Path) -> Optional[WorkloadDataset]:
+    """Verified dataset load; corruption quarantines and reads as a miss."""
+    return load_or_quarantine(path, load_dataset, kind="dataset cache entry")
+
+
 def cached_dataset(
     config: AnalysisConfig,
     cache_dir: PathLike,
@@ -48,6 +62,7 @@ def cached_dataset(
     tag: str = "all",
     progress: Optional[Callable[[str], None]] = None,
     use_feature_blocks: bool = True,
+    lock_timeout: float = 3600.0,
 ) -> WorkloadDataset:
     """Load the dataset for ``config`` from cache, building on a miss.
 
@@ -66,24 +81,33 @@ def cached_dataset(
         progress: optional per-benchmark progress callback.
         use_feature_blocks: compose the per-benchmark feature-block
             layer on a dataset-cache miss.
+        lock_timeout: seconds to wait for another process's in-flight
+            build of the same entry before giving up.
     """
     path = dataset_cache_path(cache_dir, config, tag=tag)
-    if path.exists():
+    dataset = _load_valid_dataset(path)
+    if dataset is not None:
         log.info("dataset cache hit %s", path)
         metrics().counter_add("dataset_cache.hits", 1)
-        return load_dataset(path)
+        return dataset
     log.info("dataset cache miss %s; building", path)
     metrics().counter_add("dataset_cache.misses", 1)
-    if benchmarks is None:
-        benchmarks = all_benchmarks()
-    feature_cache = (
-        FeatureBlockCache(feature_block_dir(cache_dir)) if use_feature_blocks else None
-    )
-    dataset = build_dataset(
-        benchmarks, config, progress=progress, feature_cache=feature_cache
-    )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    save_dataset(dataset, path)
+    with artifact_lock(path, timeout=lock_timeout):
+        # Another process may have finished the build while we waited.
+        dataset = _load_valid_dataset(path)
+        if dataset is not None:
+            log.info("dataset cache single-flight hit %s", path)
+            metrics().counter_add("dataset_cache.single_flight_hits", 1)
+            return dataset
+        if benchmarks is None:
+            benchmarks = all_benchmarks()
+        feature_cache = (
+            FeatureBlockCache(feature_block_dir(cache_dir)) if use_feature_blocks else None
+        )
+        dataset = build_dataset(
+            benchmarks, config, progress=progress, feature_cache=feature_cache
+        )
+        save_dataset(dataset, path)
     return dataset
 
 
@@ -94,6 +118,33 @@ def characterization_cache_path(
     return Path(cache_dir) / f"characterization_{tag}_{config.full_key()}.npz"
 
 
+def _load_valid_characterization(
+    path: Path, select_key: bool
+) -> Optional[PhaseCharacterization]:
+    """Verified characterization load honoring the ``select_key`` contract.
+
+    A cached result built with ``select_key=False`` (no GA) must not
+    satisfy a ``select_key=True`` request — the cache path does not
+    encode ``select_key``, so presence of ``ga_result`` is validated on
+    every hit and a GA-less entry reads as a miss (the rebuild persists
+    the GA-full result, which then serves both kinds of request).
+    """
+    result = load_or_quarantine(
+        path, load_characterization, kind="characterization cache entry"
+    )
+    if result is None:
+        return None
+    if select_key and result.ga_result is None:
+        log.warning(
+            "cached characterization %s lacks the GA result this request "
+            "requires (select_key=True); rebuilding with the GA",
+            path,
+        )
+        metrics().counter_add("characterization_cache.ga_mismatches", 1)
+        return None
+    return result
+
+
 def cached_characterization(
     config: AnalysisConfig,
     cache_dir: PathLike,
@@ -102,23 +153,39 @@ def cached_characterization(
     tag: str = "all",
     select_key: bool = True,
     progress: Optional[Callable[[str], None]] = None,
+    use_feature_blocks: bool = True,
+    lock_timeout: float = 3600.0,
 ) -> PhaseCharacterization:
     """Load a full characterization from cache, running on a miss.
 
     The dataset layer has its own cache, so a changed analysis
     parameter (e.g. cluster count) re-clusters without re-featurizing.
+    ``use_feature_blocks`` is forwarded to that layer, so callers can
+    disable the feature-block composition through this entry point.
     """
     path = characterization_cache_path(cache_dir, config, tag=tag)
-    if path.exists():
+    result = _load_valid_characterization(path, select_key)
+    if result is not None:
         log.info("characterization cache hit %s", path)
         metrics().counter_add("characterization_cache.hits", 1)
-        return load_characterization(path)
+        return result
     log.info("characterization cache miss %s; running", path)
     metrics().counter_add("characterization_cache.misses", 1)
-    dataset = cached_dataset(
-        config, cache_dir, benchmarks=benchmarks, tag=tag, progress=progress
-    )
-    result = run_characterization(dataset, config, select_key=select_key)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    save_characterization(result, path)
+    with artifact_lock(path, timeout=lock_timeout):
+        result = _load_valid_characterization(path, select_key)
+        if result is not None:
+            log.info("characterization cache single-flight hit %s", path)
+            metrics().counter_add("characterization_cache.single_flight_hits", 1)
+            return result
+        dataset = cached_dataset(
+            config,
+            cache_dir,
+            benchmarks=benchmarks,
+            tag=tag,
+            progress=progress,
+            use_feature_blocks=use_feature_blocks,
+            lock_timeout=lock_timeout,
+        )
+        result = run_characterization(dataset, config, select_key=select_key)
+        save_characterization(result, path)
     return result

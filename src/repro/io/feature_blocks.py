@@ -12,15 +12,16 @@ genuinely new ones.
 
 Layout: one ``.npz`` per benchmark per featurization key, holding the
 sorted interval indices and the matching vector rows.  Blocks are
-grow-only; :meth:`FeatureBlockCache.store` merges new entries with
-whatever is already on disk and replaces the file atomically, so
-concurrent runs at worst redo work, never corrupt a block.
+grow-only and persist through the crash-safe artifact store
+(:mod:`repro.io.artifacts`): loads are checksum-verified (a corrupt or
+truncated block is quarantined and treated as a miss, never loaded as
+garbage), and :meth:`FeatureBlockCache.store` holds the block's
+advisory lock across its read-merge-write cycle, so concurrent runs
+merging into the same block cannot drop each other's entries.
 """
 
 from __future__ import annotations
 
-import os
-import tempfile
 from pathlib import Path
 from typing import Dict, Mapping, Union
 
@@ -29,17 +30,28 @@ import numpy as np
 from ..config import AnalysisConfig
 from ..mica import N_FEATURES
 from ..obs import get_logger, metrics
+from .artifacts import (
+    artifact_lock,
+    load_or_quarantine,
+    quarantine,
+    read_artifact,
+    write_artifact,
+)
 
 PathLike = Union[str, Path]
 
 log = get_logger(__name__)
 
+#: Artifact schema name for one per-benchmark block file.
+FEATURE_BLOCK_SCHEMA = "feature_block"
+
 
 class FeatureBlockCache:
     """Per-benchmark, per-interval feature vectors on disk."""
 
-    def __init__(self, root: PathLike):
+    def __init__(self, root: PathLike, *, lock_timeout: float = 600.0):
         self.root = Path(root)
+        self.lock_timeout = lock_timeout
 
     def path(self, benchmark_key: str, config: AnalysisConfig) -> Path:
         """The block file for one benchmark under one featurization key."""
@@ -49,24 +61,33 @@ class FeatureBlockCache:
     def load(self, benchmark_key: str, config: AnalysisConfig) -> Dict[int, np.ndarray]:
         """Load a benchmark's cached vectors as ``{interval_index: vector}``.
 
-        Returns an empty dict on a miss; a corrupt or truncated block is
-        treated as a miss (it will be rewritten on the next store).
+        Returns an empty dict on a miss; a corrupt, truncated, or
+        malformed block is quarantined and treated as a miss (it will
+        be rebuilt by the next store).
         """
         path = self.path(benchmark_key, config)
         reg = metrics()
-        if not path.exists():
+        loaded = load_or_quarantine(
+            path,
+            lambda p: read_artifact(p, schema=FEATURE_BLOCK_SCHEMA),
+            kind="feature block",
+        )
+        if loaded is None:
             reg.counter_add("feature_blocks.block_misses", 1)
             return {}
-        try:
-            with np.load(path) as data:
-                indices = data["indices"]
-                vectors = data["vectors"]
-        except (OSError, ValueError, KeyError):
-            log.warning("corrupt feature block %s treated as a miss", path)
-            reg.counter_add("feature_blocks.block_misses", 1)
-            return {}
-        if vectors.ndim != 2 or vectors.shape != (len(indices), N_FEATURES):
-            log.warning("malformed feature block %s treated as a miss", path)
+        arrays, _ = loaded
+        indices = arrays.get("indices")
+        vectors = arrays.get("vectors")
+        if (
+            indices is None
+            or vectors is None
+            or vectors.ndim != 2
+            or vectors.shape != (len(indices), N_FEATURES)
+        ):
+            log.warning("malformed feature block %s quarantined; treated as a miss", path)
+            reg.counter_add("artifact_cache.corrupt", 1)
+            if quarantine(path) is not None:
+                reg.counter_add("artifact_cache.quarantined", 1)
             reg.counter_add("feature_blocks.block_misses", 1)
             return {}
         reg.counter_add("feature_blocks.block_hits", 1)
@@ -78,26 +99,29 @@ class FeatureBlockCache:
         config: AnalysisConfig,
         entries: Mapping[int, np.ndarray],
     ) -> None:
-        """Merge newly characterized vectors into the benchmark's block."""
+        """Merge newly characterized vectors into the benchmark's block.
+
+        The read-merge-write cycle runs under the block's advisory
+        lock, so two processes finishing the same benchmark serialize
+        their merges instead of the later writer dropping the earlier
+        writer's rows.
+        """
         if not entries:
             return
-        merged = self.load(benchmark_key, config)
-        merged.update({int(k): np.asarray(v, dtype=np.float64) for k, v in entries.items()})
-        indices = np.array(sorted(merged), dtype=np.int64)
-        vectors = np.vstack([merged[int(i)] for i in indices])
         path = self.path(benchmark_key, config)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".npz.tmp")
-        try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez_compressed(handle, indices=indices, vectors=vectors)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        with artifact_lock(path, timeout=self.lock_timeout):
+            merged = self.load(benchmark_key, config)
+            merged.update(
+                {int(k): np.asarray(v, dtype=np.float64) for k, v in entries.items()}
+            )
+            indices = np.array(sorted(merged), dtype=np.int64)
+            vectors = np.vstack([merged[int(i)] for i in indices])
+            write_artifact(
+                path,
+                {"indices": indices, "vectors": vectors},
+                schema=FEATURE_BLOCK_SCHEMA,
+            )
         metrics().counter_add("feature_blocks.stores", 1)
         log.debug(
             "stored %d vectors (%d new) into %s", len(indices), len(entries), path

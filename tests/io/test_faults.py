@@ -1,0 +1,220 @@
+"""Fault-injection tests for the cache layers.
+
+Corruption of on-disk cache entries (truncation, bit flips, torn
+writes), cross-process single-flight builds, lock-holder death, and the
+cache-key contract fixes (``select_key`` validation, GA-less legacy
+meta).  The injectors live in ``tests/io/faults.py``.
+"""
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.core import load_characterization
+from repro.io import (
+    cached_characterization,
+    cached_dataset,
+    characterization_cache_path,
+    dataset_cache_path,
+    read_artifact,
+    write_artifact,
+)
+from repro.io.cache import feature_block_dir
+from repro.obs import observe
+from repro.suites import get_suite
+
+from .faults import (
+    bit_flip,
+    env_with_src,
+    kill_process,
+    spawn_lock_holder,
+    truncate_file,
+)
+
+CFG = AnalysisConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def benches():
+    return list(get_suite("BMW").benchmarks)[:2]
+
+
+class TestCorruptCacheEntries:
+    def test_truncated_dataset_entry_quarantined_and_rebuilt(self, tmp_path, benches):
+        first = cached_dataset(CFG, tmp_path, benchmarks=benches, tag="t")
+        path = dataset_cache_path(tmp_path, CFG, tag="t")
+        truncate_file(path)
+        with observe(run_id="f") as ob:
+            again = cached_dataset(CFG, tmp_path, benchmarks=benches, tag="t")
+        assert np.array_equal(first.features, again.features)
+        counters = ob.metrics.snapshot()["counters"]
+        assert counters["artifact_cache.corrupt"] == 1
+        assert counters["artifact_cache.quarantined"] == 1
+        assert counters["dataset_cache.misses"] == 1
+        assert list(tmp_path.glob(path.name + ".corrupt-*"))
+        # The rebuilt entry is valid again.
+        read_artifact(path, schema="dataset")
+
+    def test_bit_flipped_characterization_entry_rebuilt(self, tmp_path, benches):
+        first = cached_characterization(
+            CFG, tmp_path, benchmarks=benches, tag="t", select_key=False
+        )
+        path = characterization_cache_path(tmp_path, CFG, tag="t")
+        bit_flip(path)
+        again = cached_characterization(
+            CFG, tmp_path, benchmarks=benches, tag="t", select_key=False
+        )
+        assert np.array_equal(first.clustering.labels, again.clustering.labels)
+        assert list(tmp_path.glob(path.name + ".corrupt-*"))
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_rebuild_after_corruption_across_backends(self, tmp_path, benches, backend):
+        cfg = CFG.replace(parallel_backend=backend, n_jobs=2)
+        first = cached_dataset(cfg, tmp_path, benchmarks=benches, tag=backend)
+        path = dataset_cache_path(tmp_path, cfg, tag=backend)
+        truncate_file(path, keep=0.3)
+        again = cached_dataset(cfg, tmp_path, benchmarks=benches, tag=backend)
+        assert np.array_equal(first.features, again.features)
+
+
+class TestSelectKeyContract:
+    def test_ga_less_hit_rebuilds_when_ga_required(self, tmp_path, benches):
+        no_ga = cached_characterization(
+            CFG, tmp_path, benchmarks=benches, tag="k", select_key=False
+        )
+        assert no_ga.ga_result is None
+        with observe(run_id="k") as ob:
+            full = cached_characterization(
+                CFG, tmp_path, benchmarks=benches, tag="k", select_key=True
+            )
+        assert full.ga_result is not None
+        assert full.key_characteristics
+        counters = ob.metrics.snapshot()["counters"]
+        # Fires on the pre-lock check and again on the under-lock recheck.
+        assert counters["characterization_cache.ga_mismatches"] >= 1
+        assert counters["characterization_cache.misses"] == 1
+
+    def test_ga_full_entry_serves_no_ga_requests(self, tmp_path, benches):
+        full = cached_characterization(
+            CFG, tmp_path, benchmarks=benches, tag="k2", select_key=True
+        )
+        with observe(run_id="k2") as ob:
+            hit = cached_characterization(
+                CFG, tmp_path, benchmarks=benches, tag="k2", select_key=False
+            )
+        assert np.array_equal(full.clustering.labels, hit.clustering.labels)
+        assert ob.metrics.snapshot()["counters"]["characterization_cache.hits"] == 1
+
+
+class TestFeatureBlockForwarding:
+    def test_use_feature_blocks_false_is_forwarded(self, tmp_path, benches):
+        cached_characterization(
+            CFG,
+            tmp_path,
+            benchmarks=benches,
+            tag="nofb",
+            select_key=False,
+            use_feature_blocks=False,
+        )
+        assert not feature_block_dir(tmp_path).exists()
+
+    def test_use_feature_blocks_default_populates_blocks(self, tmp_path, benches):
+        cached_characterization(
+            CFG, tmp_path, benchmarks=benches, tag="fb", select_key=False
+        )
+        assert any(feature_block_dir(tmp_path).glob("block_*.npz"))
+
+
+class TestGaMetaValidation:
+    def test_meta_predating_ga_fitness_yields_no_ga_result(self, tmp_path, benches):
+        path = characterization_cache_path(tmp_path, CFG, tag="m")
+        cached_characterization(
+            CFG, tmp_path, benchmarks=benches, tag="m", select_key=True
+        )
+        arrays, meta = read_artifact(path, schema="characterization")
+        assert meta["key_characteristics"]
+        del meta["ga_fitness"], meta["ga_history"]
+        write_artifact(path, arrays, schema="characterization", meta=meta)
+        loaded = load_characterization(path)
+        assert loaded.ga_result is None
+        assert loaded.key_characteristics  # names survive, result does not
+
+    def test_nan_fitness_placeholder_yields_no_ga_result(self, tmp_path, benches):
+        path = characterization_cache_path(tmp_path, CFG, tag="m2")
+        cached_characterization(
+            CFG, tmp_path, benchmarks=benches, tag="m2", select_key=True
+        )
+        arrays, meta = read_artifact(path, schema="characterization")
+        meta["ga_fitness"] = float("nan")
+        write_artifact(path, arrays, schema="characterization", meta=meta)
+        assert load_characterization(path).ga_result is None
+
+
+_SINGLE_FLIGHT_DRIVER = """
+import sys
+from pathlib import Path
+import repro.io.cache as cache_mod
+from repro.config import AnalysisConfig
+from repro.suites import get_suite
+
+cache_dir, log_path = Path(sys.argv[1]), Path(sys.argv[2])
+real_build = cache_mod.build_dataset
+
+def counting_build(*args, **kwargs):
+    with open(log_path, "a") as fh:
+        fh.write("build\\n")
+    return real_build(*args, **kwargs)
+
+cache_mod.build_dataset = counting_build
+cfg = AnalysisConfig.tiny()
+benches = list(get_suite("BMW").benchmarks)[:2]
+ds = cache_mod.cached_dataset(cfg, cache_dir, benchmarks=benches, tag="sf")
+print(len(ds))
+"""
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("lock_backend", ["auto", "pidfile"])
+    def test_two_processes_build_exactly_once(self, tmp_path, lock_backend):
+        log_path = tmp_path / "builds.log"
+        env = env_with_src(REPRO_ARTIFACT_LOCK=lock_backend)
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", _SINGLE_FLIGHT_DRIVER, str(tmp_path), str(log_path)],
+                env=env,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        outs = [p.communicate(timeout=300) for p in procs]
+        assert all(p.returncode == 0 for p in procs), outs
+        rows = {out.strip() for out, _ in outs}
+        assert len(rows) == 1  # both saw the same dataset
+        builds = log_path.read_text().splitlines()
+        assert builds == ["build"], f"expected exactly one build, got {builds}"
+
+    def test_lock_holder_death_releases_flock(self, tmp_path, benches):
+        path = dataset_cache_path(tmp_path, CFG, tag="lh")
+        holder = spawn_lock_holder(path, backend="auto")
+        kill_process(holder)
+        # The kernel released the dead holder's flock: the build proceeds.
+        ds = cached_dataset(
+            CFG, tmp_path, benchmarks=benches, tag="lh", lock_timeout=10
+        )
+        assert len(ds) == 2 * CFG.intervals_per_benchmark
+
+    def test_dead_pidfile_holder_taken_over(self, tmp_path, benches, monkeypatch):
+        monkeypatch.setenv("REPRO_ARTIFACT_LOCK", "pidfile")
+        path = dataset_cache_path(tmp_path, CFG, tag="lh2")
+        holder = spawn_lock_holder(path, backend="pidfile")
+        kill_process(holder)
+        # The pidfile survives its dead owner; takeover is by pid probe.
+        ds = cached_dataset(
+            CFG, tmp_path, benchmarks=benches, tag="lh2", lock_timeout=30
+        )
+        assert len(ds) == 2 * CFG.intervals_per_benchmark
