@@ -1,0 +1,189 @@
+"""E13 — End-to-end wall clock: fused + adaptive pipeline vs baseline.
+
+The headline BENCH number.  Runs the characterization pipeline —
+dataset build (sampling + MICA metering), PCA, k-means, prominent-phase
+selection — twice over the same benchmarks:
+
+* **optimized**: the defaults — fused whole-trace metering
+  (:mod:`repro.mica.fused`) and shape-adaptive k-means engine
+  selection (``kmeans_engine="auto"``);
+* **baseline**: the retained per-interval meters and reference Lloyd,
+  forced via ``REPRO_PER_INTERVAL_METERS=1`` and
+  ``REPRO_REFERENCE_KMEANS=1`` — exactly the escape hatches a
+  reproduction run would use.
+
+Both runs must be bit-identical (features, PCA space, labels, BIC);
+the ratio of their wall clocks is the pipeline's whole-trace payoff.
+
+The preset (``REPRO_BENCH_PRESET``) sets the scale.  ``paper`` is the
+paper's clustering shape — 77 benchmarks x 1,000 sampled intervals of
+500 instructions, k = 300 — where both optimizations are in their
+winning regime.  ``tiny`` is the CI gate scale: the whole run takes
+seconds, the clustering (308 x 8) sits below the engine crossover on
+*both* paths, and the measured ratio isolates fused-vs-per-interval
+metering.
+
+Writes ``e2e_wall.txt``/``e2e_wall.json`` and the CI artifact
+``BENCH_e2e.json`` under ``benchmarks/output``.  Run it alone::
+
+    REPRO_BENCH_PRESET=tiny PYTHONPATH=src \
+        python -m pytest benchmarks/bench_e2e_wall.py -q
+
+Set ``REPRO_BENCH_REQUIRE_SPEEDUP=1`` to enforce the speedup floor:
+>= 2x at the paper preset, >= 1x elsewhere (tiny runs are
+overhead-dominated; the gate there is "the optimized path never
+loses").
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.config import AnalysisConfig
+from repro.core import build_dataset, run_characterization
+from repro.io import format_table
+from repro.mica import PER_INTERVAL_METERS_ENV
+from repro.obs import emit_bench
+from repro.stats.kmeans_engine import REFERENCE_KMEANS_ENV
+from repro.suites import all_benchmarks
+
+#: Timing repeats per path; the minimum wall clock is reported.  One
+#: repeat at paper scale (a run is minutes), three at the test scales.
+REPEATS = {"paper": 1, "small": 2, "tiny": 3}
+
+#: Pipeline scale per preset.  ``paper`` is the paper's clustering
+#: shape (77 benchmarks x 1,000 intervals -> n = 77,000, k = 300) at
+#: the interval size where whole-trace metering operates; the GA is
+#: excluded at every preset (it consumes identical inputs on both
+#: paths, so it would only dilute the measured ratio with
+#: engine-independent work).
+SCALE = {
+    "paper": dict(
+        interval_instructions=500,
+        intervals_per_benchmark=1_000,
+        n_clusters=300,
+        n_prominent=100,
+        kmeans_restarts=2,
+        ilp_sample_instructions=500,
+        ppm_sample_branches=250,
+    ),
+    "small": dict(
+        interval_instructions=500,
+        intervals_per_benchmark=100,
+        n_clusters=120,
+        n_prominent=40,
+        kmeans_restarts=2,
+        ilp_sample_instructions=500,
+        ppm_sample_branches=250,
+    ),
+    "tiny": dict(
+        interval_instructions=500,
+        intervals_per_benchmark=4,
+        n_clusters=8,
+        n_prominent=4,
+        kmeans_restarts=1,
+        kmeans_max_iter=10,
+        ilp_sample_instructions=200,
+        ppm_sample_branches=50,
+    ),
+}
+
+#: Environment forcing the baseline (pre-optimization) pipeline.
+BASELINE_ENV = {PER_INTERVAL_METERS_ENV: "1", REFERENCE_KMEANS_ENV: "1"}
+
+
+def _run_pipeline(benchmarks, config):
+    dataset = build_dataset(benchmarks, config)
+    result = run_characterization(dataset, config, select_key=False)
+    return dataset, result
+
+
+def _timed_run(benchmarks, config, env, repeats):
+    """Best-of-``repeats`` wall clock of one full pipeline variant."""
+    saved = {key: os.environ.get(key) for key in env}
+    os.environ.update(env)
+    try:
+        best = float("inf")
+        outcome = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            outcome = _run_pipeline(benchmarks, config)
+            best = min(best, time.perf_counter() - start)
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+    return outcome, best
+
+
+def bench_e2e_wall(config, report):
+    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
+    e2e_config = AnalysisConfig(**SCALE[preset])
+    benchmarks = all_benchmarks()
+    repeats = REPEATS[preset]
+
+    (opt_ds, opt_result), optimized_s = _timed_run(
+        benchmarks, e2e_config, {}, repeats
+    )
+    (base_ds, base_result), baseline_s = _timed_run(
+        benchmarks, e2e_config, BASELINE_ENV, repeats
+    )
+
+    # The whole point of the flag architecture: the optimized pipeline
+    # is a pure execution-plan change.  Bit for bit, end to end.
+    assert np.array_equal(opt_ds.features, base_ds.features)
+    assert np.array_equal(opt_result.space, base_result.space)
+    assert np.array_equal(
+        opt_result.clustering.labels, base_result.clustering.labels
+    )
+    assert opt_result.clustering.bic == base_result.clustering.bic
+
+    speedup = baseline_s / optimized_s
+    n_rows = len(opt_ds)
+    rows = [
+        [
+            "optimized (fused meters + auto engine)",
+            f"{optimized_s:.2f}",
+            f"{n_rows / optimized_s:.0f}",
+        ],
+        [
+            "baseline (per-interval + reference Lloyd)",
+            f"{baseline_s:.2f}",
+            f"{n_rows / baseline_s:.0f}",
+        ],
+    ]
+    text = format_table(["pipeline", "wall s", "intervals / s"], rows)
+    text += (
+        f"\npreset={preset}: {len(benchmarks)} benchmarks, {n_rows} interval rows "
+        f"({e2e_config.interval_instructions} instr each), "
+        f"k={e2e_config.n_clusters}, best of {repeats}; "
+        f"e2e speedup {speedup:.2f}x, results bit-identical\n"
+    )
+    report("e2e_wall.txt", text)
+    print("\n" + text)
+
+    payload = {
+        "preset": preset,
+        "n_benchmarks": len(benchmarks),
+        "n_interval_rows": n_rows,
+        "interval_instructions": e2e_config.interval_instructions,
+        "n_clusters": e2e_config.n_clusters,
+        "repeats": repeats,
+        "optimized_seconds": round(optimized_s, 6),
+        "baseline_seconds": round(baseline_s, 6),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+    emit_bench("e2e_wall", payload, report=report)
+    # The CI artifact/gate file, stable-named across presets.
+    report("BENCH_e2e.json", json.dumps(payload, indent=2))
+
+    if os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP"):
+        floor = 2.0 if preset == "paper" else 1.0
+        assert speedup >= floor, (
+            f"e2e speedup {speedup:.2f}x < {floor}x at preset {preset}"
+        )

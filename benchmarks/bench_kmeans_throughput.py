@@ -29,10 +29,25 @@ import numpy as np
 from repro.io import format_table
 from repro.obs import emit_bench
 from repro.stats.kmeans import _lloyd
-from repro.stats.kmeans_engine import EngineStats, lloyd_accelerated
+from repro.stats.kmeans_engine import (
+    AUTO_CROSSOVER_ENTRIES,
+    EngineStats,
+    lloyd_accelerated,
+    resolve_engine,
+)
 
 #: Timing repeats; the minimum is reported.
 REPEATS = 3
+
+#: Shapes for the ``auto`` crossover sweep — small fits bracketing
+#: ``AUTO_CROSSOVER_ENTRIES`` so the measured ratio can be checked
+#: against the shipped threshold.  Each runs in milliseconds.
+CROSSOVER_SHAPES = (
+    (308, 8, 4),
+    (1_000, 20, 8),
+    (2_000, 40, 10),
+    (4_000, 60, 10),
+)
 
 #: Clustering scale per preset: (points, clusters, dimensions).  The
 #: paper row is the real workload-space size (77 benchmarks x 1,000
@@ -140,3 +155,65 @@ def bench_kmeans_throughput(config, report):
 
     if os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP"):
         assert speedup >= 3.0, f"kmeans engine speedup {speedup:.2f}x < 3x"
+
+
+def bench_kmeans_auto_crossover(config, report):
+    """Measure the engine-vs-reference ratio around the auto crossover.
+
+    This is the experiment :data:`AUTO_CROSSOVER_ENTRIES` was read off:
+    both inner loops timed (interleaved, best-of-``REPEATS``) at small
+    shapes bracketing the threshold, alongside the engine ``auto``
+    would select for each.  A drifting machine profile shows up here
+    long before it misroutes the real pipeline.
+    """
+    max_iter = config.kmeans_max_iter
+    rows = []
+    sweep = []
+    for n, k, d in CROSSOVER_SHAPES:
+        points, init = _mixture(n, k, d)
+        (engine_fit, engine_s), (_, reference_s) = _timed_best_interleaved(
+            lambda: lloyd_accelerated(points, init, max_iter),
+            lambda: _lloyd(points, init, max_iter),
+        )
+        ratio = reference_s / engine_s
+        selected = resolve_engine("auto", n=n, k=k)
+        agrees = (selected == "accelerated") == (ratio >= 1.0)
+        rows.append(
+            [
+                f"{n} x {k}",
+                f"{n * k}",
+                f"{engine_s * 1e3:.1f}",
+                f"{reference_s * 1e3:.1f}",
+                f"{ratio:.2f}x",
+                selected,
+                "yes" if agrees else "NO",
+            ]
+        )
+        sweep.append(
+            {
+                "n_points": n,
+                "n_clusters": k,
+                "n_dims": d,
+                "entries": n * k,
+                "engine_seconds": round(engine_s, 6),
+                "reference_seconds": round(reference_s, 6),
+                "engine_speedup": round(ratio, 2),
+                "auto_selects": selected,
+                "selection_agrees_with_timing": bool(agrees),
+            }
+        )
+    text = format_table(
+        ["n x k", "entries", "engine ms", "reference ms", "speedup", "auto", "agrees"],
+        rows,
+    )
+    text += (
+        f"\nauto crossover at n*k = {AUTO_CROSSOVER_ENTRIES} entries; "
+        f"best of {REPEATS} interleaved repeats\n"
+    )
+    report("kmeans_auto_crossover.txt", text)
+    print("\n" + text)
+    emit_bench(
+        "kmeans_auto_crossover",
+        {"crossover_entries": AUTO_CROSSOVER_ENTRIES, "sweep": sweep},
+        report=report,
+    )

@@ -1,0 +1,104 @@
+"""Gate a fresh ``BENCH_e2e.json`` against a committed baseline.
+
+CI calls this after ``bench_e2e_wall.py``::
+
+    python benchmarks/check_e2e_baseline.py \
+        benchmarks/output/BENCH_e2e.json benchmarks/baselines/e2e_tiny.json
+
+The primary gate is the **speedup ratio** (optimized vs baseline
+pipeline): being a ratio of two runs on the same machine in the same
+job, it cancels runner speed out, so it gets a tight relative
+tolerance (``speedup_tolerance``, default 25%).  Absolute wall
+seconds vary wildly across runners, so they get only a generous
+order-of-magnitude guard (``wall_tolerance`` x the committed
+optimized wall, default 4x) that catches a pipeline accidentally
+running a much bigger scale or busy-looping, not runner noise.
+
+Exit status 0 = within tolerance; 1 = regression; 2 = bad input.
+Update the committed baseline deliberately (rerun the bench on a
+quiet machine, copy the numbers) when an intentional change moves
+the ratio.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load(path: Path) -> dict:
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"unparseable JSON in {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check(current: dict, baseline: dict) -> list:
+    """Compare one BENCH payload against a baseline; return failures."""
+    failures = []
+    if current.get("preset") != baseline.get("preset"):
+        failures.append(
+            f"preset mismatch: bench ran {current.get('preset')!r}, "
+            f"baseline pins {baseline.get('preset')!r}"
+        )
+        return failures
+
+    tolerance = float(baseline.get("speedup_tolerance", 0.25))
+    floor = float(baseline["speedup"]) * (1.0 - tolerance)
+    speedup = float(current["speedup"])
+    if speedup < floor:
+        failures.append(
+            f"speedup regression: {speedup:.2f}x < {floor:.2f}x "
+            f"(committed {baseline['speedup']:.2f}x minus {tolerance:.0%} tolerance)"
+        )
+
+    wall_tolerance = float(baseline.get("wall_tolerance", 4.0))
+    ceiling = float(baseline["optimized_seconds"]) * wall_tolerance
+    wall = float(current["optimized_seconds"])
+    if wall > ceiling:
+        failures.append(
+            f"optimized wall blow-up: {wall:.2f}s > {ceiling:.2f}s "
+            f"({wall_tolerance:.0f}x the committed {baseline['optimized_seconds']:.2f}s)"
+        )
+
+    if not current.get("bit_identical", False):
+        failures.append("bench did not report bit_identical=true")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="fresh BENCH_e2e.json")
+    parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    args = parser.parse_args(argv)
+
+    if not args.current.exists():
+        print(f"missing bench output: {args.current}", file=sys.stderr)
+        return 2
+    if not args.baseline.exists():
+        print(f"missing committed baseline: {args.baseline}", file=sys.stderr)
+        return 2
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    failures = check(current, baseline)
+    print(
+        f"e2e gate [{current.get('preset')}]: "
+        f"speedup {current.get('speedup')}x "
+        f"(baseline {baseline.get('speedup')}x), "
+        f"optimized wall {current.get('optimized_seconds')}s "
+        f"(baseline {baseline.get('optimized_seconds')}s)"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -63,6 +63,9 @@ def report(output_dir):
 
     def write(name: str, text: str) -> Path:
         path = output_dir / name
+        # The session fixture created the directory, but benches run
+        # long and cleanup scripts wipe benchmarks/output freely.
+        path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(text if text.endswith("\n") else text + "\n")
         return path
 

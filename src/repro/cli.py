@@ -345,7 +345,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="Lloyd inner loop: triangle-inequality engine or reference "
         "full-distance pass; results are bit-identical (default: auto, "
-        "which honors REPRO_REFERENCE_KMEANS)",
+        "which honors REPRO_REFERENCE_KMEANS and otherwise adapts to "
+        "the clustering shape)",
     )
     p.add_argument(
         "--feature-cache",

@@ -49,8 +49,10 @@ class AnalysisConfig:
       ``process`` (see :mod:`repro.parallel`).
     * ``kmeans_engine`` — ``auto`` | ``accelerated`` | ``reference``
       inner Lloyd loop (see :mod:`repro.stats.kmeans_engine`); bit-
-      identical results either way, ``auto`` honors
-      ``REPRO_REFERENCE_KMEANS``.
+      identical results either way.  ``auto`` honors
+      ``REPRO_REFERENCE_KMEANS``, then adapts to the clustering shape:
+      plain Lloyd below the measured ``n x k`` crossover, the
+      triangle-inequality engine above it.
     """
 
     interval_instructions: int = 10_000

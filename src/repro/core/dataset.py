@@ -14,7 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..config import AnalysisConfig
-from ..mica import N_FEATURES, characterize_interval
+from ..mica import N_FEATURES, batch_slices, characterize_intervals
 from ..obs import get_logger, metrics, span
 from ..parallel import Executor, get_executor
 from ..suites import Benchmark
@@ -92,16 +92,27 @@ def _characterize_benchmark(payload, index: int):
     vectors = np.empty((len(unique_picks), N_FEATURES), dtype=np.float64)
     fresh = {}
     with span("mica", benchmark=bench.key) as sp:
+        to_compute = []  # (row, interval index) pairs not served from cache
         for j, interval_idx in enumerate(unique_picks):
             interval_idx = int(interval_idx)
             vec = cached.get(interval_idx) if cached else None
             if vec is None:
-                trace = bench.program.interval_trace(
-                    interval_idx, config.interval_instructions
-                )
-                vec = characterize_interval(trace, config)
+                to_compute.append((j, interval_idx))
+            else:
+                vectors[j] = vec
+        # Uncached intervals are characterized in fused batches: one
+        # whole-trace pass over many concatenated intervals (bounded by
+        # FUSED_BATCH_INSTRUCTIONS) instead of one meter run each.
+        for batch in batch_slices(len(to_compute), config.interval_instructions):
+            chunk = to_compute[batch]
+            traces = [
+                bench.program.interval_trace(idx, config.interval_instructions)
+                for _, idx in chunk
+            ]
+            matrix = characterize_intervals(traces, config)
+            for (j, interval_idx), vec in zip(chunk, matrix):
                 fresh[interval_idx] = vec
-            vectors[j] = vec
+                vectors[j] = vec
         sp.set(characterized=len(fresh), cached=len(unique_picks) - len(fresh))
     updates = [
         ("dataset.rows", float(len(picks))),

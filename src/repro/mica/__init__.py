@@ -24,8 +24,19 @@ from .features import (
     feature_vector,
     features_in_category,
 )
-from ._dispatch import REFERENCE_METERS_ENV, reference_meters_enabled
+from ._dispatch import (
+    PER_INTERVAL_METERS_ENV,
+    REFERENCE_METERS_ENV,
+    fused_meters_enabled,
+    reference_meters_enabled,
+)
 from .footprint import measure_footprint
+from .fused import (
+    FUSED_BATCH_INSTRUCTIONS,
+    FUSED_MAX_INTERVAL_INSTRUCTIONS,
+    batch_slices,
+    characterize_intervals,
+)
 from .ilp import (
     WINDOW_SIZES,
     measure_ilp,
@@ -59,6 +70,8 @@ __all__ = [
     "CATEGORY_STRIDE",
     "DEP_DISTANCE_BUCKETS",
     "FEATURES",
+    "FUSED_BATCH_INSTRUCTIONS",
+    "FUSED_MAX_INTERVAL_INSTRUCTIONS",
     "FEATURE_CATEGORY",
     "FEATURE_INDEX",
     "Feature",
@@ -66,14 +79,18 @@ __all__ = [
     "IntervalProfile",
     "LOCAL_BUCKETS",
     "N_FEATURES",
+    "PER_INTERVAL_METERS_ENV",
     "REFERENCE_METERS_ENV",
     "REPORTED_LENGTHS",
     "TRACKED_LENGTHS",
     "WINDOW_SIZES",
+    "batch_slices",
     "characterize_interval",
+    "characterize_intervals",
     "feature_names",
     "feature_vector",
     "features_in_category",
+    "fused_meters_enabled",
     "global_histories",
     "local_histories",
     "match_producers",

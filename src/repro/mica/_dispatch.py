@@ -16,7 +16,24 @@ import os
 #: Environment variable selecting the reference meter implementations.
 REFERENCE_METERS_ENV = "REPRO_REFERENCE_METERS"
 
+#: Environment variable forcing the per-interval metering loop instead
+#: of the fused whole-trace pass (:mod:`repro.mica.fused`).
+PER_INTERVAL_METERS_ENV = "REPRO_PER_INTERVAL_METERS"
+
 
 def reference_meters_enabled() -> bool:
     """True when the sequential reference meters are requested."""
     return os.environ.get(REFERENCE_METERS_ENV, "") not in ("", "0")
+
+
+def fused_meters_enabled() -> bool:
+    """True when batches of intervals may use the fused whole-trace pass.
+
+    Both opt-out flags disable it: ``REPRO_PER_INTERVAL_METERS`` asks
+    for the per-interval loop with the vectorized kernels, and
+    ``REPRO_REFERENCE_METERS`` implies the sequential reference meters,
+    which only exist per interval.
+    """
+    if os.environ.get(PER_INTERVAL_METERS_ENV, "") not in ("", "0"):
+        return False
+    return not reference_meters_enabled()

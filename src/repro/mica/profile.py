@@ -52,14 +52,19 @@ def match_producers(trace: Trace) -> Tuple[np.ndarray, np.ndarray]:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
     shift = max(1, int(n - 1).bit_length())
-    positions = np.arange(n, dtype=np.int64)
+    # Composite keys are (register, position) pairs compared as one
+    # integer; the comparison order is dtype-independent, so use int32
+    # keys whenever they fit (register needs 6 bits, so up to n = 2^25)
+    # — the sort and searchsorted run on half the bytes.
+    key_dtype = np.int32 if shift <= 25 else np.int64
+    positions = np.arange(n, dtype=key_dtype)
     wmask = trace.dst != NO_REG
     if not wmask.any():
         missing = np.full(n, -1, dtype=np.int64)
         return missing, missing.copy()
-    wkey = (trace.dst[wmask].astype(np.int64) << shift) | positions[wmask]
+    wkey = (trace.dst[wmask].astype(key_dtype) << shift) | positions[wmask]
     wkey.sort()
-    srcs = np.concatenate([trace.src1, trace.src2]).astype(np.int64)
+    srcs = np.concatenate([trace.src1, trace.src2]).astype(key_dtype)
     rpos = np.concatenate([positions, positions])
     rmask = srcs != NO_REG
     rkey = (srcs[rmask] << shift) | rpos[rmask]
@@ -68,7 +73,7 @@ def match_producers(trace: Trace) -> Tuple[np.ndarray, np.ndarray]:
     matched = (idx >= 0) & ((cand >> shift) == srcs[rmask])
     producers = np.full(2 * n, -1, dtype=np.int64)
     slots = np.flatnonzero(rmask)[matched]
-    producers[slots] = cand[matched] & ((np.int64(1) << shift) - 1)
+    producers[slots] = (cand[matched] & ((key_dtype(1) << shift) - 1)).astype(np.int64)
     return producers[:n], producers[n:]
 
 

@@ -12,6 +12,7 @@ runs inside ``--run-report`` needs no side channel.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Callable, Dict, Optional
 
 from .spans import metrics
@@ -45,6 +46,16 @@ def emit_bench(
         elif isinstance(value, (int, float)):
             reg.gauge_set(f"bench.{name}.{key}", value)
     if report is not None:
-        report(f"{name}.json", json.dumps(payload, indent=2))
+        text = json.dumps(payload, indent=2)
+        try:
+            report(f"{name}.json", text)
+        except FileNotFoundError as exc:
+            # Output directories are wiped freely between bench runs;
+            # recreate the missing one rather than losing the result.
+            parent = os.path.dirname(exc.filename or "")
+            if not parent:
+                raise
+            os.makedirs(parent, exist_ok=True)
+            report(f"{name}.json", text)
     echo("BENCH " + json.dumps(payload))
     return payload

@@ -20,20 +20,32 @@ from .executor import (
     get_executor,
 )
 from .seeding import generator_from_seed, task_generator, task_seed, task_seeds
+from .shm import (
+    SharedNDArray,
+    as_ndarray,
+    dispose_shared,
+    share_array,
+    shared_memory_available,
+)
 
 __all__ = [
     "BACKENDS",
     "Executor",
     "ProcessExecutor",
     "SerialExecutor",
+    "SharedNDArray",
     "ThreadExecutor",
     "WorkerError",
+    "as_ndarray",
     "chunk_bounds",
     "chunk_items",
+    "dispose_shared",
     "effective_n_jobs",
     "fork_available",
     "generator_from_seed",
     "get_executor",
+    "share_array",
+    "shared_memory_available",
     "task_generator",
     "task_seed",
     "task_seeds",

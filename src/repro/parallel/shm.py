@@ -1,0 +1,180 @@
+"""Zero-copy ndarray sharing across process workers.
+
+The process backend forks, so a payload reaches workers through
+inherited memory — but inherited pages are *copy-on-write*: every
+worker that so much as touches a page gets a private duplicate, and a
+payload that crosses a pickle boundary (task results, a pool that
+outlives several ``map`` calls) is copied wholesale.  For the one
+genuinely large payload in the pipeline — the clustering point matrix,
+77k x ~20 float64 at paper scale — :class:`SharedNDArray` places the
+data in a POSIX shared-memory block instead: one physical copy, mapped
+``MAP_SHARED`` by every process, and pickled as a tiny
+``(name, shape, dtype)`` handle that re-attaches lazily on first use.
+
+Lifecycle: the *creating* process owns the block and must call
+:meth:`SharedNDArray.dispose` when the fan-out is done (the name is
+unlinked; existing mappings stay valid until each process drops its
+view).  Attached views are read-only — workers share one physical copy,
+so a stray in-place write would corrupt every other worker's input.
+Attachers deregister themselves from the ``multiprocessing`` resource
+tracker: the owner alone is responsible for cleanup, and a fork-pool
+worker shares the parent's tracker, which would otherwise warn about
+(and double-unlink) blocks the parent already released.
+
+``shared_memory`` can be unavailable (no ``/dev/shm``, exotic
+platforms); :func:`share_array` then returns the array unchanged and
+the fan-out falls back to fork-inherited pages — same results, just
+without the sharing.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory can be allocated on this platform."""
+    try:
+        from multiprocessing import shared_memory
+
+        block = shared_memory.SharedMemory(create=True, size=1)
+        block.close()
+        block.unlink()
+        return True
+    except Exception:
+        return False
+
+
+def _untrack(name: str) -> None:
+    """Remove a shared-memory registration from the resource tracker.
+
+    Attaching registers the block with the process's resource tracker
+    (Python < 3.13 offers no opt-out), but only the owner should clean
+    up; without this, the tracker emits leaked-object warnings at
+    shutdown for every block the owner correctly unlinked.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedNDArray:
+    """A numpy array backed by a named shared-memory block.
+
+    Create with :meth:`from_array` (copies the data in, becomes the
+    owner) or by pickling/unpickling an existing instance (a non-owning
+    handle that attaches on first :attr:`array` access).  ``len`` and
+    ``.shape``/``.dtype`` work without attaching, so cheap metadata
+    questions never map the block.
+    """
+
+    def __init__(
+        self, name: str, shape: Tuple[int, ...], dtype: Union[str, np.dtype]
+    ) -> None:
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self._shm = None
+        self._array: Optional[np.ndarray] = None
+        self._owner = False
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedNDArray":
+        """Copy ``array`` into a new shared block; the result is the owner."""
+        from multiprocessing import shared_memory
+
+        array = np.ascontiguousarray(array)
+        if array.nbytes == 0:
+            raise ValueError("cannot share an empty array")
+        block = shared_memory.SharedMemory(create=True, size=array.nbytes)
+        shared = cls(block.name, array.shape, array.dtype)
+        shared._shm = block
+        shared._owner = True
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        view.flags.writeable = False
+        shared._array = view
+        return shared
+
+    @property
+    def array(self) -> np.ndarray:
+        """The shared data as a read-only ndarray (attaches on first use)."""
+        if self._array is None:
+            from multiprocessing import shared_memory
+
+            block = shared_memory.SharedMemory(name=self.name)
+            _untrack(block._name)
+            self._shm = block
+            view = np.ndarray(self.shape, dtype=self.dtype, buffer=block.buf)
+            view.flags.writeable = False
+            self._array = view
+        return self._array
+
+    def __len__(self) -> int:
+        return self.shape[0] if self.shape else 0
+
+    def __reduce__(self):
+        # Pickle as a lazy non-owning handle: tiny, and the receiving
+        # process maps the block only if it actually reads the data.
+        return (SharedNDArray, (self.name, self.shape, str(self.dtype)))
+
+    def close(self) -> None:
+        """Drop this process's mapping (the block itself survives)."""
+        if self._shm is not None:
+            self._array = None
+            self._shm.close()
+            self._shm = None
+
+    def unlink(self) -> None:
+        """Remove the block's name; owner-only."""
+        if not self._owner:
+            raise RuntimeError("only the owning SharedNDArray may unlink")
+        from multiprocessing import shared_memory
+
+        self._owner = False
+        try:
+            shared_memory.SharedMemory(name=self.name).unlink()
+        except FileNotFoundError:
+            pass
+
+    def dispose(self) -> None:
+        """Owner teardown: unmap and unlink in one call."""
+        if self._owner:
+            self.close()
+            self.unlink()
+        else:
+            self.close()
+
+
+def share_array(array: np.ndarray) -> Union[SharedNDArray, np.ndarray]:
+    """Best-effort sharing: a :class:`SharedNDArray`, or the input.
+
+    Falls back to returning ``array`` itself when the platform has no
+    usable shared memory or the array is empty — callers treat the
+    result uniformly via :func:`as_ndarray` and
+    :func:`dispose_shared`.
+    """
+    if array.nbytes == 0:
+        return array
+    try:
+        return SharedNDArray.from_array(array)
+    except Exception:
+        return array
+
+
+def as_ndarray(obj: Union[SharedNDArray, np.ndarray]) -> np.ndarray:
+    """Unwrap a maybe-shared array to a plain ndarray view."""
+    if isinstance(obj, SharedNDArray):
+        return obj.array
+    return obj
+
+
+def dispose_shared(obj: Union[SharedNDArray, np.ndarray]) -> None:
+    """Tear down the block if ``obj`` is shared; no-op otherwise."""
+    if isinstance(obj, SharedNDArray):
+        obj.dispose()

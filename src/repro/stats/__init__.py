@@ -5,6 +5,7 @@ from .correlation import pearson
 from .distance import condensed_distances, distances_to, pairwise_distances
 from .kmeans import Clustering, kmeans
 from .kmeans_engine import (
+    AUTO_CROSSOVER_ENTRIES,
     REFERENCE_KMEANS_ENV,
     EngineStats,
     lloyd_accelerated,
@@ -15,6 +16,7 @@ from .normalize import Normalizer, normalize
 from .pca import GramPCA, PCAModel, fit_pca, rescaled_pca_space
 
 __all__ = [
+    "AUTO_CROSSOVER_ENTRIES",
     "Clustering",
     "EngineStats",
     "GramPCA",

@@ -15,15 +15,17 @@ Two interchangeable inner loops implement one Lloyd semantics:
 
 * :func:`_lloyd` — the reference: a full (chunked) distance pass and
   argmin every iteration.
-* :func:`repro.stats.kmeans_engine.lloyd_accelerated` — the default:
-  triangle-inequality bounds certify most assignments without
+* :func:`repro.stats.kmeans_engine.lloyd_accelerated` — the paper-scale
+  default: triangle-inequality bounds certify most assignments without
   computing any distances.
 
 Both produce bit-identical labels, centers, inertia and BIC for any
 seed (pinned by ``tests/stats/test_kmeans_engine.py``); selection is
-the ``engine`` argument / ``AnalysisConfig.kmeans_engine``, with
-``REPRO_REFERENCE_KMEANS=1`` forcing the reference at run time.  Like
-``n_jobs``, the engine choice participates in no cache key.
+the ``engine`` argument / ``AnalysisConfig.kmeans_engine``.  The
+default ``auto`` adapts to the problem shape — reference Lloyd below
+the measured ``n * k`` crossover, the accelerated engine above it —
+with ``REPRO_REFERENCE_KMEANS=1`` forcing the reference at run time.
+Like ``n_jobs``, the engine choice participates in no cache key.
 """
 
 from __future__ import annotations
@@ -35,7 +37,15 @@ import numpy as np
 
 from ..obs import active as obs_active
 from ..obs import metrics, span
-from ..parallel import Executor, generator_from_seed, get_executor, task_seeds
+from ..parallel import (
+    Executor,
+    as_ndarray,
+    dispose_shared,
+    generator_from_seed,
+    get_executor,
+    share_array,
+    task_seeds,
+)
 from .bic import kmeans_bic
 from .distance import distances_to
 from .kmeans_engine import (
@@ -153,6 +163,7 @@ def _run_restart(payload, seed: int):
     the fit computed anyway, so results are bit-identical either way.
     """
     points, k, max_iter, use_reference = payload
+    points = as_ndarray(points)
     rng = generator_from_seed(seed)
     init_idx = rng.choice(len(points), size=k, replace=False)
     stats = EngineStats() if (obs_active() and not use_reference) else None
@@ -201,9 +212,13 @@ def kmeans(
         n_jobs: workers to fan the restarts across (1 = serial).
         backend: executor backend for the fan-out.
         executor: override the executor built from ``backend``/``n_jobs``.
-        engine: ``auto`` | ``accelerated`` | ``reference`` inner loop;
-            ``auto`` honors ``REPRO_REFERENCE_KMEANS``.  Results are
-            bit-identical either way.
+        engine: ``auto`` | ``accelerated`` | ``reference`` inner loop.
+            ``auto`` honors ``REPRO_REFERENCE_KMEANS``, then picks by
+            problem shape — plain Lloyd below the ``n * k`` crossover
+            where bound bookkeeping outweighs the skipped distance
+            rows, the triangle-inequality engine above it (see
+            :data:`repro.stats.kmeans_engine.AUTO_CROSSOVER_ENTRIES`).
+            Results are bit-identical either way.
         engine_stats: accumulate accelerated-engine distance-evaluation
             accounting (serial runs only; ignored when fanned out).
 
@@ -219,8 +234,8 @@ def kmeans(
         raise ValueError("restarts must be >= 1")
     if max_iter < 1:
         raise ValueError("max_iter must be >= 1")
-    use_reference = resolve_engine(engine) == "reference"
     k = min(k, len(points))
+    use_reference = resolve_engine(engine, n=len(points), k=k) == "reference"
     root = int(rng.integers(2**63))
     seeds = task_seeds("km-restart", root, restarts)
     if executor is None:
@@ -232,12 +247,21 @@ def kmeans(
             for seed in seeds
         ]
     else:
-        runs = executor.map(
-            _run_restart,
-            seeds,
-            payload=(points, k, max_iter, use_reference),
-            labels=[f"restart {i}" for i in range(restarts)],
+        # Process workers read one physical copy of the points through
+        # shared memory instead of duplicating fork-inherited pages (or
+        # re-pickling the matrix); other backends see the live array.
+        shared = (
+            share_array(points) if executor.backend == "process" else points
         )
+        try:
+            runs = executor.map(
+                _run_restart,
+                seeds,
+                payload=(shared, k, max_iter, use_reference),
+                labels=[f"restart {i}" for i in range(restarts)],
+            )
+        finally:
+            dispose_shared(shared)
     best: Optional[Clustering] = None
     for centers, labels, inertia, n_iter, bic, assigned_sq in runs:
         if best is None or bic > best.bic:

@@ -80,15 +80,20 @@ class TestFeatureBlockCache:
 
 @pytest.fixture
 def counting(monkeypatch):
-    """Patch characterize_interval in the dataset module with a counter."""
+    """Patch characterize_intervals in the dataset module with a counter.
+
+    The builder featurizes in batches; one entry is recorded per
+    interval so ``len(counting)`` is the number of intervals
+    featurized, regardless of how they were batched.
+    """
     calls = []
-    real = dataset_mod.characterize_interval
+    real = dataset_mod.characterize_intervals
 
-    def counted(trace, config):
-        calls.append(len(trace))
-        return real(trace, config)
+    def counted(traces, config):
+        calls.extend(len(trace) for trace in traces)
+        return real(traces, config)
 
-    monkeypatch.setattr(dataset_mod, "characterize_interval", counted)
+    monkeypatch.setattr(dataset_mod, "characterize_intervals", counted)
     return calls
 
 
@@ -156,7 +161,9 @@ class TestBuildDatasetWithCache:
             total_unique += len(unique)
             idx = int(unique[0])
             trace = bench.program.interval_trace(idx, CFG.interval_instructions)
-            cache.store(bench.key, CFG, {idx: dataset_mod.characterize_interval(trace, CFG)})
+            cache.store(
+                bench.key, CFG, {idx: dataset_mod.characterize_intervals([trace], CFG)[0]}
+            )
         counting.clear()
 
         build_dataset(benches, CFG, feature_cache=cache)

@@ -1,0 +1,168 @@
+"""Bit-identity of the fused whole-trace metering pass.
+
+The fused pass (:mod:`repro.mica.fused`) must produce, for every
+interval in a batch, exactly the vector the per-interval path produces
+— bit for bit, not approximately.  Hypothesis drives random interval
+batches (mixed lengths, shared and disjoint PC/address ranges); the
+golden test pins the fused path to the same frozen vectors that pin the
+per-interval meters.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AnalysisConfig
+from repro.mica import (
+    N_FEATURES,
+    batch_slices,
+    characterize_interval,
+    characterize_intervals,
+    fused_meters_enabled,
+)
+from repro.mica._dispatch import PER_INTERVAL_METERS_ENV, REFERENCE_METERS_ENV
+from repro.mica.fused import _characterize_fused
+
+from .test_properties import random_traces
+
+CFG = AnalysisConfig.tiny()
+SETTINGS = dict(max_examples=20, deadline=None)
+
+
+def _per_interval(traces, config=CFG):
+    return np.vstack([characterize_interval(t, config) for t in traces])
+
+
+def _fixed_trace(seed=0, n=120):
+    """A deterministic valid trace for the non-hypothesis tests."""
+    from repro.isa import NO_ADDR, N_REGISTERS, OpClass, Trace
+
+    rng = np.random.default_rng(seed)
+    ops = rng.integers(0, 15, n).astype(np.uint8)
+    src1 = rng.integers(-1, N_REGISTERS, n).astype(np.int16)
+    src2 = rng.integers(-1, N_REGISTERS, n).astype(np.int16)
+    dst = rng.integers(-1, N_REGISTERS, n).astype(np.int16)
+    addr = np.full(n, NO_ADDR, dtype=np.int64)
+    mem = (ops == OpClass.LOAD) | (ops == OpClass.STORE)
+    addr[mem] = rng.integers(0, 1 << 30, int(mem.sum()))
+    pc = rng.integers(0, 1 << 20, n).astype(np.int64) * 4
+    taken = np.zeros(n, dtype=bool)
+    ctl = (ops == OpClass.BRANCH) | (ops == OpClass.CALL)
+    taken[ctl] = rng.random(int(ctl.sum())) < 0.5
+    trace = Trace(op=ops, src1=src1, src2=src2, dst=dst, addr=addr, pc=pc, taken=taken)
+    trace.validate()
+    return trace
+
+
+@settings(**SETTINGS)
+@given(st.lists(random_traces(), min_size=1, max_size=6))
+def test_fused_bit_identical_to_per_interval(traces):
+    fused = _characterize_fused(traces, CFG)
+    expected = _per_interval(traces)
+    assert fused.dtype == expected.dtype
+    np.testing.assert_array_equal(fused, expected)
+
+
+@settings(**SETTINGS)
+@given(random_traces())
+def test_fused_single_interval_matches(trace):
+    fused = _characterize_fused([trace], CFG)
+    np.testing.assert_array_equal(fused[0], characterize_interval(trace, CFG))
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(random_traces(min_len=4, max_len=60), min_size=2, max_size=4))
+def test_fused_subsamples_like_per_interval(traces):
+    # Tight ILP/PPM subsample limits exercise the leading-sample
+    # selection inside the fused pass.
+    config = AnalysisConfig.tiny().replace(
+        ilp_sample_instructions=16, ppm_sample_branches=5
+    )
+    fused = _characterize_fused(traces, config)
+    np.testing.assert_array_equal(fused, _per_interval(traces, config))
+
+
+def test_fused_identical_traces_give_identical_rows():
+    trace = _fixed_trace()
+    fused = _characterize_fused([trace, trace, trace], CFG)
+    np.testing.assert_array_equal(fused[0], fused[1])
+    np.testing.assert_array_equal(fused[1], fused[2])
+
+
+def test_fused_empty_batch():
+    out = characterize_intervals([], CFG)
+    assert out.shape == (0, N_FEATURES)
+
+
+def test_fused_rejects_empty_trace():
+    trace = _fixed_trace()
+    with pytest.raises(ValueError):
+        _characterize_fused([trace, trace.slice(0, 0)], CFG)
+
+
+def test_fused_ppm_key_overflow_falls_back(monkeypatch):
+    # Force the composite-key budget check to fail so the per-interval
+    # PPM fallback runs; results must be unchanged.
+    import repro.mica.fused as fused_mod
+
+    traces = [_fixed_trace(seed, n=50 + 10 * seed) for seed in range(3)]
+    expected = _characterize_fused(traces, CFG)
+    monkeypatch.setattr(fused_mod, "_HISTORY_BITS", 60)
+    overflowed = _characterize_fused(traces, CFG)
+    np.testing.assert_array_equal(overflowed, expected)
+
+
+def test_characterize_intervals_dispatch(monkeypatch):
+    traces = [_fixed_trace(seed, n=80 + seed) for seed in range(2)]
+    expected = _per_interval(traces)
+
+    monkeypatch.delenv(PER_INTERVAL_METERS_ENV, raising=False)
+    monkeypatch.delenv(REFERENCE_METERS_ENV, raising=False)
+    assert fused_meters_enabled()
+    np.testing.assert_array_equal(characterize_intervals(traces, CFG), expected)
+
+    monkeypatch.setenv(PER_INTERVAL_METERS_ENV, "1")
+    assert not fused_meters_enabled()
+    np.testing.assert_array_equal(characterize_intervals(traces, CFG), expected)
+
+    monkeypatch.delenv(PER_INTERVAL_METERS_ENV)
+    monkeypatch.setenv(REFERENCE_METERS_ENV, "1")
+    assert not fused_meters_enabled()
+    np.testing.assert_array_equal(characterize_intervals(traces, CFG), expected)
+
+
+def test_large_intervals_use_per_interval_engine(monkeypatch):
+    # Above the crossover the per-interval loop is selected — results
+    # identical, so only observable via the fused-pass entry point.
+    import repro.mica.fused as fused_mod
+
+    calls = []
+    real = fused_mod._characterize_fused
+    monkeypatch.setattr(
+        fused_mod,
+        "_characterize_fused",
+        lambda traces, config: calls.append(len(traces)) or real(traces, config),
+    )
+    small = [_fixed_trace(seed) for seed in range(2)]
+    expected_small = _per_interval(small)
+    np.testing.assert_array_equal(characterize_intervals(small, CFG), expected_small)
+    assert calls == [2]
+
+    big = [_fixed_trace(7, n=fused_mod.FUSED_MAX_INTERVAL_INSTRUCTIONS + 1)]
+    expected_big = _per_interval(big)
+    np.testing.assert_array_equal(characterize_intervals(big, CFG), expected_big)
+    assert calls == [2]  # fused not invoked for the oversized batch
+
+
+def test_batch_slices_cover_everything():
+    slices = batch_slices(1000, 10_000)
+    covered = []
+    for s in slices:
+        covered.extend(range(s.start, s.stop))
+    assert covered == list(range(1000))
+    # 2M instructions / 10k per interval = 200 intervals per batch.
+    assert all(s.stop - s.start <= 200 for s in slices)
+    assert batch_slices(0, 10_000) == []
+    # Oversized intervals still make progress one at a time.
+    assert batch_slices(3, 10**9) == [slice(0, 1), slice(1, 2), slice(2, 3)]

@@ -71,3 +71,19 @@ def test_golden_vectors_match_reference_meters(golden, monkeypatch):
     monkeypatch.setenv(REFERENCE_METERS_ENV, "1")
     got = _recompute(golden)
     assert np.array_equal(got, golden["vectors"])
+
+
+def test_golden_vectors_match_fused_pass(golden):
+    # All six pinned intervals characterized in one fused batch.
+    from repro.mica.fused import _characterize_fused
+
+    by_key = {b.key: b for b in all_benchmarks()}
+    config = golden["config"]
+    traces = []
+    for label in golden["labels"]:
+        key, idx = label.rsplit("@", 1)
+        traces.append(
+            by_key[key].program.interval_trace(int(idx), config.interval_instructions)
+        )
+    got = _characterize_fused(traces, config)
+    assert np.array_equal(got, golden["vectors"])

@@ -17,6 +17,7 @@ from hypothesis import strategies as st
 from repro.stats import kmeans
 from repro.stats.kmeans import Clustering, _lloyd
 from repro.stats.kmeans_engine import (
+    AUTO_CROSSOVER_ENTRIES,
     REFERENCE_KMEANS_ENV,
     EngineStats,
     assign_points,
@@ -252,6 +253,9 @@ def test_zero_drift_early_exit():
 def test_resolve_engine_explicit():
     assert resolve_engine("accelerated") == "accelerated"
     assert resolve_engine("reference") == "reference"
+    # Explicit choices ignore the shape entirely.
+    assert resolve_engine("accelerated", n=10, k=2) == "accelerated"
+    assert resolve_engine("reference", n=100_000, k=300) == "reference"
     with pytest.raises(ValueError):
         resolve_engine("fast")
 
@@ -263,10 +267,53 @@ def test_resolve_engine_auto_honors_env(monkeypatch):
     monkeypatch.setenv(REFERENCE_KMEANS_ENV, "1")
     assert reference_kmeans_enabled()
     assert resolve_engine("auto") == "reference"
+    # The environment also beats a shape above the crossover.
+    assert resolve_engine("auto", n=77_000, k=300) == "reference"
     # An explicit choice wins over the environment.
     assert resolve_engine("accelerated") == "accelerated"
     monkeypatch.setenv(REFERENCE_KMEANS_ENV, "0")
     assert not reference_kmeans_enabled()
+
+
+def test_resolve_engine_auto_adapts_to_shape(monkeypatch):
+    monkeypatch.delenv(REFERENCE_KMEANS_ENV, raising=False)
+    # Small problems (the tiny preset's 308 x 8 clustering) stay on the
+    # plain Lloyd — the bounds cannot amortize their bookkeeping.
+    assert resolve_engine("auto", n=308, k=8) == "reference"
+    # The paper-scale clustering lands on the accelerated engine.
+    assert resolve_engine("auto", n=77_000, k=300) == "accelerated"
+    # The boundary itself: strictly-below stays reference.
+    assert resolve_engine("auto", n=AUTO_CROSSOVER_ENTRIES - 1, k=1) == "reference"
+    assert resolve_engine("auto", n=AUTO_CROSSOVER_ENTRIES, k=1) == "accelerated"
+    # Unknown shape keeps the old unconditional default.
+    assert resolve_engine("auto") == "accelerated"
+    assert resolve_engine("auto", n=500) == "accelerated"
+
+
+@given(point_sets())
+@settings(max_examples=15, deadline=None)
+def test_auto_bit_identical_to_selected_engine(case):
+    # Whatever ``auto`` selects, the fit is the one both engines agree
+    # on — so adaptive selection can never change a result.
+    points, k, seed = case
+    auto = kmeans(points, k, restarts=2, rng=generator("kme-auto", seed))
+    explicit = resolve_engine("auto", n=len(points), k=min(k, len(points)))
+    chosen = kmeans(
+        points, k, restarts=2, rng=generator("kme-auto", seed), engine=explicit
+    )
+    other = kmeans(
+        points,
+        k,
+        restarts=2,
+        rng=generator("kme-auto", seed),
+        engine="reference" if explicit == "accelerated" else "accelerated",
+    )
+    for fit in (chosen, other):
+        np.testing.assert_array_equal(auto.labels, fit.labels)
+        np.testing.assert_array_equal(auto.centers, fit.centers)
+        assert auto.bic == fit.bic
+        assert auto.inertia == fit.inertia
+        assert auto.n_iter == fit.n_iter
 
 
 def test_kmeans_env_flag_routes_reference(monkeypatch):
@@ -285,7 +332,16 @@ def test_kmeans_collects_engine_stats():
     rng = np.random.default_rng(9)
     points = rng.normal(size=(60, 2))
     stats = EngineStats()
-    kmeans(points, 5, restarts=3, rng=generator("kme-st", 1), engine_stats=stats)
+    # Force the accelerated engine: at this size ``auto`` would pick
+    # the reference path, which collects no bound accounting.
+    kmeans(
+        points,
+        5,
+        restarts=3,
+        rng=generator("kme-st", 1),
+        engine="accelerated",
+        engine_stats=stats,
+    )
     assert stats.runs == 3
     assert stats.point_rows_total > 0
 

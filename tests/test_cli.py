@@ -123,6 +123,10 @@ def test_characterize_writes_run_report(tmp_path, capsys):
                 "tiny",
                 "--suite",
                 "BMW",
+                # The tiny clustering sits below the auto crossover;
+                # force the engine so the skipped-row gauge is recorded.
+                "--kmeans-engine",
+                "accelerated",
                 "--run-report",
                 str(report_path),
             ]
