@@ -24,7 +24,7 @@ seconds, the clustering (308 x 8) sits below the engine crossover on
 metering.
 
 Writes ``e2e_wall.txt``/``e2e_wall.json`` and the CI artifact
-``BENCH_e2e.json`` under ``benchmarks/output``.  Run it alone::
+``BENCH_e2e_wall.json`` under ``benchmarks/output``.  Run it alone::
 
     REPRO_BENCH_PRESET=tiny PYTHONPATH=src \
         python -m pytest benchmarks/bench_e2e_wall.py -q
@@ -35,7 +35,6 @@ overhead-dominated; the gate there is "the optimized path never
 loses").
 """
 
-import json
 import os
 import time
 
@@ -178,9 +177,9 @@ def bench_e2e_wall(config, report):
         "speedup": round(speedup, 3),
         "bit_identical": True,
     }
+    # emit_bench also writes the stable CI artifact/gate file
+    # BENCH_e2e_wall.json (uniform across every gated bench).
     emit_bench("e2e_wall", payload, report=report)
-    # The CI artifact/gate file, stable-named across presets.
-    report("BENCH_e2e.json", json.dumps(payload, indent=2))
 
     if os.environ.get("REPRO_BENCH_REQUIRE_SPEEDUP"):
         floor = 2.0 if preset == "paper" else 1.0

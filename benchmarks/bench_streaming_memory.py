@@ -1,0 +1,213 @@
+"""E14 — Streaming engine memory: O(batch) peak vs the exact path's O(n).
+
+Three subprocess runs over the same six SPECint2000 programs, each
+reporting its Python-allocation peak (``tracemalloc``) and OS peak RSS:
+
+* **exact** at the base row count — builds the full feature matrix,
+  then PCA/k-means over it;
+* **streaming** at the base row count — same methodology, bounded
+  batches (the approximation the labels are checked against);
+* **streaming at 10x rows** — the asymptotic claim: 10x the stream,
+  materially flat traced peak.
+
+Each run lives in its own process so allocator state and imports don't
+bleed between measurements.  The traced peak is the gated number: at
+these scales the interpreter baseline dominates RSS, while tracemalloc
+isolates exactly the arrays the two engines hold (RSS is still
+reported for context).  ``kmeans_max_iter`` is capped so both engines
+run the same bounded pass count; streaming-Lloyd tracks exact Lloyd
+pass for pass, but when the cap cuts convergence short the exact path
+keeps its last assignment while the streaming scorer re-assigns
+against the once-more-updated centers, so capped runs agree to ~99%
+rather than bit-for-bit (converged runs agree exactly — that is what
+``tests/streaming`` pins).
+
+Writes ``streaming_memory.txt``/``streaming_memory.json`` and the CI
+artifact ``BENCH_streaming_memory.json`` under ``benchmarks/output``.
+Run it alone::
+
+    REPRO_BENCH_PRESET=tiny PYTHONPATH=src \
+        python -m pytest benchmarks/bench_streaming_memory.py -q
+
+Set ``REPRO_BENCH_REQUIRE_MEMORY=1`` to enforce the contract: streaming
+traced peak <= 50% of exact at the base scale, 10x-rows streaming peak
+<= 2x the base streaming peak, BIC-selected non-empty cluster count
+within +-1 of exact, and cluster-composition agreement >= 95%.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.io import format_table
+from repro.obs import emit_bench
+
+#: Rows per benchmark at the base scale, per preset.  The 10x run
+#: multiplies this; six benchmarks turn it into total rows.
+BASE_INTERVALS = {"paper": 200, "small": 200, "tiny": 100}
+
+#: Streamed batch size.  The transient working set is dominated by the
+#: fused meter pass over one batch's concatenated intervals, so the
+#: batch size directly sets the streaming peak; 16 intervals keeps it
+#: well under the exact path's 250-interval fused batches while still
+#: amortizing the per-batch dispatch.
+BATCH_INTERVALS = 16
+
+_RUNNER = '''
+"""One measured pipeline run: mode rows out.json out.npz (argv)."""
+import json
+import resource
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.config import AnalysisConfig
+from repro.suites import SUITE_INT2000, get_suite
+
+mode, intervals, out_json, out_npz = sys.argv[1:5]
+config = AnalysisConfig.tiny().replace(
+    intervals_per_benchmark=int(intervals),
+    kmeans_restarts=2,
+    kmeans_max_iter=5,
+    batch_intervals={batch_intervals},
+)
+benches = get_suite(SUITE_INT2000).benchmarks[:6]
+
+start = time.perf_counter()
+tracemalloc.start()
+if mode == "exact":
+    from repro.core import build_dataset, run_characterization
+
+    dataset = build_dataset(benches, config)
+    result = run_characterization(dataset, config, select_key=False)
+else:
+    from repro.streaming import run_streaming_characterization
+
+    result = run_streaming_characterization(benches, config)
+_, peak = tracemalloc.get_traced_memory()
+tracemalloc.stop()
+wall = time.perf_counter() - start
+
+labels = result.clustering.labels
+np.savez(out_npz, labels=labels)
+json.dump(
+    {{
+        "mode": mode,
+        "n_rows": int(len(labels)),
+        "peak_traced_mb": peak / 1e6,
+        "ru_maxrss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+        "wall_seconds": wall,
+    }},
+    open(out_json, "w"),
+)
+'''
+
+
+def _composition_agreement(labels_a, labels_b):
+    """Greedy max-overlap cluster matching, as fraction of rows."""
+    cont = np.zeros((labels_a.max() + 1, labels_b.max() + 1), dtype=np.int64)
+    for a, b in zip(labels_a, labels_b):
+        cont[a, b] += 1
+    matched = 0
+    while cont.max() > 0:
+        i, j = np.unravel_index(np.argmax(cont), cont.shape)
+        matched += cont[i, j]
+        cont[i, :] = 0
+        cont[:, j] = 0
+    return matched / len(labels_a)
+
+
+def _measure(runner, mode, intervals, workdir):
+    out_json = workdir / f"{mode}_{intervals}.json"
+    out_npz = workdir / f"{mode}_{intervals}.npz"
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    subprocess.run(
+        [sys.executable, str(runner), mode, str(intervals), str(out_json), str(out_npz)],
+        check=True,
+        env=env,
+        cwd=str(workdir),
+        timeout=1800,
+    )
+    stats = json.loads(out_json.read_text())
+    stats["labels"] = np.load(out_npz)["labels"]
+    return stats
+
+
+def bench_streaming_memory(config, report, tmp_path):
+    preset = os.environ.get("REPRO_BENCH_PRESET", "paper")
+    base = BASE_INTERVALS[preset]
+    runner = tmp_path / "runner.py"
+    runner.write_text(_RUNNER.format(batch_intervals=BATCH_INTERVALS))
+
+    exact = _measure(runner, "exact", base, tmp_path)
+    stream = _measure(runner, "streaming", base, tmp_path)
+    stream_10x = _measure(runner, "streaming", 10 * base, tmp_path)
+
+    ratio = stream["peak_traced_mb"] / exact["peak_traced_mb"]
+    growth = stream_10x["peak_traced_mb"] / stream["peak_traced_mb"]
+    agreement = _composition_agreement(exact["labels"], stream["labels"])
+    k_exact = len(np.unique(exact["labels"]))
+    k_stream = len(np.unique(stream["labels"]))
+
+    rows = [
+        [
+            run["mode"] + (" (10x rows)" if run is stream_10x else ""),
+            f"{run['n_rows']}",
+            f"{run['peak_traced_mb']:.2f}",
+            f"{run['ru_maxrss_mb']:.0f}",
+            f"{run['wall_seconds']:.2f}",
+        ]
+        for run in (exact, stream, stream_10x)
+    ]
+    text = format_table(
+        ["engine", "rows", "traced peak MB", "peak RSS MB", "wall s"], rows
+    )
+    text += (
+        f"\npreset={preset}, batch={BATCH_INTERVALS} intervals: streaming peak is "
+        f"{100 * ratio:.0f}% of exact at {stream['n_rows']} rows; 10x rows grow the "
+        f"streaming peak {growth:.2f}x; composition agreement {100 * agreement:.1f}% "
+        f"(k {k_exact} exact vs {k_stream} streaming)\n"
+    )
+    report("streaming_memory.txt", text)
+    print("\n" + text)
+
+    payload = {
+        "preset": preset,
+        "batch_intervals": BATCH_INTERVALS,
+        "base_rows": stream["n_rows"],
+        "exact_peak_traced_mb": round(exact["peak_traced_mb"], 3),
+        "stream_peak_traced_mb": round(stream["peak_traced_mb"], 3),
+        "stream_10x_peak_traced_mb": round(stream_10x["peak_traced_mb"], 3),
+        "exact_peak_rss_mb": round(exact["ru_maxrss_mb"], 1),
+        "stream_peak_rss_mb": round(stream["ru_maxrss_mb"], 1),
+        "stream_10x_peak_rss_mb": round(stream_10x["ru_maxrss_mb"], 1),
+        "stream_vs_exact_peak_ratio": round(ratio, 4),
+        "stream_10x_growth": round(growth, 4),
+        "composition_agreement": round(agreement, 4),
+        "k_exact": k_exact,
+        "k_stream": k_stream,
+    }
+    emit_bench("streaming_memory", payload, report=report)
+
+    if os.environ.get("REPRO_BENCH_REQUIRE_MEMORY"):
+        assert ratio <= 0.5, (
+            f"streaming traced peak is {100 * ratio:.0f}% of exact (> 50%)"
+        )
+        assert growth <= 2.0, (
+            f"10x rows grew the streaming peak {growth:.2f}x (> 2x): not O(batch)"
+        )
+        assert abs(k_exact - k_stream) <= 1, (
+            f"non-empty cluster count drifted: {k_exact} exact vs {k_stream}"
+        )
+        assert agreement >= 0.95, (
+            f"cluster-composition agreement {100 * agreement:.1f}% < 95%"
+        )

@@ -1,9 +1,9 @@
-"""Gate a fresh ``BENCH_e2e.json`` against a committed baseline.
+"""Gate a fresh ``BENCH_e2e_wall.json`` against a committed baseline.
 
 CI calls this after ``bench_e2e_wall.py``::
 
     python benchmarks/check_e2e_baseline.py \
-        benchmarks/output/BENCH_e2e.json benchmarks/baselines/e2e_tiny.json
+        benchmarks/output/BENCH_e2e_wall.json benchmarks/baselines/e2e_tiny.json
 
 The primary gate is the **speedup ratio** (optimized vs baseline
 pipeline): being a ratio of two runs on the same machine in the same
@@ -71,7 +71,7 @@ def check(current: dict, baseline: dict) -> list:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("current", type=Path, help="fresh BENCH_e2e.json")
+    parser.add_argument("current", type=Path, help="fresh BENCH_e2e_wall.json")
     parser.add_argument("baseline", type=Path, help="committed baseline JSON")
     args = parser.parse_args(argv)
 

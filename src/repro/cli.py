@@ -94,6 +94,10 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             config = config.replace(parallel_backend=args.parallel_backend)
         if args.kmeans_engine is not None:
             config = config.replace(kmeans_engine=args.kmeans_engine)
+        if args.streaming:
+            config = config.replace(streaming=True)
+        if args.batch_intervals is not None:
+            config = config.replace(batch_intervals=args.batch_intervals)
     except ValueError as exc:
         raise SystemExit(f"repro characterize: error: {exc}")
     benches = _select_benchmarks(args.suite)
@@ -108,6 +112,8 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
         json_format=args.log_json,
         run_id=run_id,
     )
+    if config.streaming:
+        return _characterize_streaming(args, config, benches, feature_cache, run_id)
     # Stage-level crash safety: dataset -> analysis -> GA each land
     # atomically in <output>.stages/ as they complete.  With --resume
     # (the default) a re-run of a killed invocation picks up from the
@@ -153,6 +159,53 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     )
     if result.key_characteristics:
         print("key characteristics: " + ", ".join(result.key_characteristics))
+    return 0
+
+
+def _characterize_streaming(
+    args: argparse.Namespace, config, benches, feature_cache, run_id: str
+) -> int:
+    """The ``--streaming`` branch: bounded-memory engine, own artifact.
+
+    Streaming makes several featurization passes (statistics, Lloyd
+    refinement, scoring) instead of holding the matrix, so there is no
+    dataset stage to checkpoint;
+    crash resilience comes from ``--feature-cache``, which turns every
+    pass after the first into disk reads.
+    """
+    from .analysis import StreamingDriftMonitor
+    from .streaming import run_streaming_characterization, save_streaming_result
+
+    print(
+        f"characterizing {len(benches)} benchmarks at preset {args.preset!r} "
+        f"(streaming, {config.batch_intervals} intervals/batch)..."
+    )
+    monitor = StreamingDriftMonitor()
+    observation = None
+    context = obs.observe(run_id=run_id) if args.run_report else _inert()
+    with context as observation:
+        with obs.span(
+            "characterize.streaming", preset=args.preset, benchmarks=len(benches)
+        ):
+            result = run_streaming_characterization(
+                benches, config, feature_cache=feature_cache, monitor=monitor
+            )
+    save_streaming_result(result, args.output)
+    if args.run_report:
+        doc = obs.build_report(observation, config=config, command="characterize")
+        path = obs.write_report(args.run_report, doc)
+        print(f"run report written to {path}")
+    print(
+        f"saved {args.output}: {len(result)} intervals (streamed), "
+        f"{result.n_components} components "
+        f"({100 * result.explained_variance:.1f}% variance), "
+        f"{result.clustering.k} clusters, "
+        f"{len(result.prominent)} prominent phases "
+        f"({100 * result.prominent.coverage:.1f}% coverage)"
+    )
+    drifts = {k: v for k, v in monitor.drift().items() if v is not None}
+    for key, value in sorted(drifts.items()):
+        print(f"generation drift {key}: {value:.2f}")
     return 0
 
 
@@ -354,6 +407,23 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="per-benchmark feature-block cache directory; reruns only "
         "characterize intervals no earlier run has touched",
+    )
+    p.add_argument(
+        "--streaming",
+        action="store_true",
+        help="bounded-memory engine: featurize in batches, incremental "
+        "PCA, mini-batch k-means.  Approximate (see docs/methodology.md); "
+        "the default exact path pins correctness.  Stage checkpoints do "
+        "not apply; pair with --feature-cache to make the engine's "
+        "multiple featurization passes cheap",
+    )
+    p.add_argument(
+        "--batch-intervals",
+        type=int,
+        default=None,
+        metavar="N",
+        help="intervals per streamed batch (peak working set is O(N); "
+        "default: preset value, 256)",
     )
     p.add_argument(
         "--resume",

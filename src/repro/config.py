@@ -53,6 +53,19 @@ class AnalysisConfig:
       ``REPRO_REFERENCE_KMEANS``, then adapts to the clustering shape:
       plain Lloyd below the measured ``n x k`` crossover, the
       triangle-inequality engine above it.
+
+    Two further knobs select the *streaming* analysis path
+    (:mod:`repro.streaming`).  Unlike the execution knobs they change
+    what is computed — the streaming path trades bounded memory for a
+    measured approximation gap — so both participate in ``full_key``:
+
+    * ``streaming`` — run the bounded-memory engine (incremental PCA +
+      mini-batch k-means over featurization batches) instead of
+      materializing the full dataset.  The exact path stays the
+      default and pins correctness.
+    * ``batch_intervals`` — intervals held in memory per streaming
+      batch; the peak working set is ``O(batch_intervals)``, never
+      ``O(total intervals)``.
     """
 
     interval_instructions: int = 10_000
@@ -73,6 +86,8 @@ class AnalysisConfig:
     n_jobs: int = 1
     parallel_backend: str = "auto"
     kmeans_engine: str = "auto"
+    streaming: bool = False
+    batch_intervals: int = 256
 
     #: Fields that control execution, not results; excluded from cache keys.
     EXECUTION_KNOBS = ("n_jobs", "parallel_backend", "kmeans_engine")
@@ -96,6 +111,8 @@ class AnalysisConfig:
             raise ValueError(
                 "kmeans_engine must be one of auto, accelerated, reference"
             )
+        if self.batch_intervals < 1:
+            raise ValueError("batch_intervals must be >= 1")
 
     @classmethod
     def paper(cls) -> "AnalysisConfig":

@@ -1,6 +1,13 @@
 """The paper's phase-level characterization methodology, end to end."""
 
-from .dataset import WorkloadDataset, build_dataset
+from .dataset import (
+    FeatureBatch,
+    SamplingPlan,
+    WorkloadDataset,
+    build_dataset,
+    build_sampling_plan,
+    iter_feature_batches,
+)
 from .pipeline import PhaseCharacterization, run_characterization
 from .prominent import ProminentPhases, select_prominent_phases
 from .results import (
@@ -14,10 +21,14 @@ from .results import (
 from .sampling import sample_interval_indices
 
 __all__ = [
+    "FeatureBatch",
     "PhaseCharacterization",
     "ProminentPhases",
+    "SamplingPlan",
     "WorkloadDataset",
     "build_dataset",
+    "build_sampling_plan",
+    "iter_feature_batches",
     "dataset_arrays",
     "dataset_from_arrays",
     "load_characterization",

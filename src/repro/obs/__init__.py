@@ -37,6 +37,7 @@ from .log import (
     get_logger,
 )
 from .metrics import DEFAULT_BUCKETS, NOOP_REGISTRY, MetricsRegistry, NoopMetricsRegistry
+from .proc import peak_rss_children_mb, peak_rss_mb, record_peak_rss
 from .report import (
     REQUIRED_KEYS,
     SCHEMA_VERSION,
@@ -87,6 +88,9 @@ __all__ = [
     "missing_stages",
     "new_run_id",
     "observe",
+    "peak_rss_children_mb",
+    "peak_rss_mb",
+    "record_peak_rss",
     "render_report",
     "span",
     "validate_report",

@@ -1,0 +1,76 @@
+"""Process-level resource gauges: peak RSS for run reports.
+
+Wall and CPU time have been first-class run-report citizens since the
+span layer landed; memory was not observable at all.  This module adds
+the missing axis: the process's high-water resident set size, read from
+``resource.getrusage`` (zero-dependency, one syscall), recorded as
+gauges in the active metrics registry:
+
+* ``proc.peak_rss_mb`` — this process's lifetime peak RSS;
+* ``proc.peak_rss_children_mb`` — the peak RSS across waited-for child
+  processes (the process-backend executor workers), when nonzero.
+
+``ru_maxrss`` is a *lifetime* high-water mark, so the gauge answers
+"how much memory did this run need" only when the process did little
+before the run — true for CLI invocations, which is where run reports
+are written.  :func:`repro.obs.build_report` records the gauges just
+before snapshotting, so memory joins wall/CPU in every ``--run-report``
+document without any caller changes.
+
+On platforms without the ``resource`` module (Windows), the reader
+returns ``0.0`` and the gauges are simply absent from reports.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+try:  # pragma: no cover - resource is always present on POSIX
+    import resource
+except ImportError:  # pragma: no cover - Windows
+    resource = None  # type: ignore[assignment]
+
+from .metrics import MetricsRegistry
+from .spans import metrics
+
+__all__ = ["peak_rss_mb", "peak_rss_children_mb", "record_peak_rss"]
+
+
+def _maxrss_to_mb(maxrss: float) -> float:
+    """Normalize ``ru_maxrss`` to MiB (kilobytes on Linux, bytes on macOS)."""
+    if sys.platform == "darwin":  # pragma: no cover - platform-specific
+        return maxrss / (1024.0 * 1024.0)
+    return maxrss / 1024.0
+
+
+def peak_rss_mb() -> float:
+    """This process's lifetime peak resident set size, in MiB (0 if unknown)."""
+    if resource is None:  # pragma: no cover - Windows
+        return 0.0
+    return _maxrss_to_mb(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def peak_rss_children_mb() -> float:
+    """Peak RSS across waited-for children, in MiB (0 if none or unknown)."""
+    if resource is None:  # pragma: no cover - Windows
+        return 0.0
+    return _maxrss_to_mb(resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss)
+
+
+def record_peak_rss(registry: Optional[MetricsRegistry] = None) -> float:
+    """Record the peak-RSS gauges into ``registry`` (default: the active one).
+
+    Returns the recorded ``proc.peak_rss_mb`` value so callers can log
+    it.  The children gauge is only written when a child has actually
+    been waited for (nonzero), keeping single-process reports free of a
+    meaningless zero row.
+    """
+    reg = registry if registry is not None else metrics()
+    peak = peak_rss_mb()
+    if peak > 0:
+        reg.gauge_set("proc.peak_rss_mb", peak)
+    children = peak_rss_children_mb()
+    if children > 0:
+        reg.gauge_set("proc.peak_rss_children_mb", children)
+    return peak

@@ -30,7 +30,11 @@ schema smoke step):
     dicts (see :class:`repro.obs.Span`).
 ``metrics``
     a :meth:`~repro.obs.MetricsRegistry.snapshot` —
-    ``{"counters", "gauges", "histograms"}``.
+    ``{"counters", "gauges", "histograms"}``.  Always includes the
+    process-memory gauges recorded at report build time
+    (``proc.peak_rss_mb``, and ``proc.peak_rss_children_mb`` when
+    worker processes ran) — see :mod:`repro.obs.proc` — so memory
+    joins wall/CPU in every run report.
 
 The six methodology stages appear in every complete characterization
 report as span names :data:`STAGES` = ``mica``, ``sampling``, ``pca``,
@@ -50,6 +54,7 @@ import time
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
+from .proc import record_peak_rss
 from .spans import Observation, Span
 
 __all__ = [
@@ -132,6 +137,9 @@ def build_report(
         command: the producing command, recorded verbatim.
     """
     observation.finish()
+    # Memory joins wall/CPU in every report: the process's peak RSS is
+    # read once here, just before the metrics snapshot.
+    record_peak_rss(observation.metrics)
     config_doc: Dict[str, Any] = {"digest": None, "fields": {}}
     if config is not None:
         if hasattr(config, "full_key"):

@@ -1,0 +1,137 @@
+"""Correlation-matrix PCA from streaming sufficient statistics.
+
+The exact pipeline fits PCA by materializing the full ``(n, 69)``
+feature matrix and taking its SVD — ``O(n)`` memory.  For unbounded
+traces the same correlation-matrix PCA is recoverable from three
+fixed-size accumulators: the per-column sum and sum of squares (which
+fix the :class:`~repro.stats.normalize.Normalizer`) and the raw Gram
+matrix ``XᵀX`` (69 x 69).  The z-scored Gram follows algebraically::
+
+    ZᵀZ = (XᵀX - n·μμᵀ) / (σσᵀ)
+
+and its eigendecomposition is the correlation-matrix PCA, agreeing
+with the SVD path up to component sign and floating-point rounding —
+neither of which changes any distance computed in the resulting space.
+
+Two deliberate approximations relative to the exact path (both part of
+the streaming contract pinned in ``tests/streaming``):
+
+* the z-scored Gram is assembled by subtraction, so its eigenvalues
+  carry cancellation error of order ``n·ε`` relative to the SVD's —
+  negligible at float64 for any realistic trace length;
+* the rescaled-space projector (:class:`StreamingProjector`) divides
+  scores by their analytic standard deviation ``sqrt(λ/n)`` instead of
+  subtracting the empirical score mean first.  The empirical mean is
+  analytically zero (the normalizer is fitted on the same stream), so
+  the omission is pure rounding residue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .normalize import Normalizer
+from .pca import PCAModel
+
+
+class IncrementalPCA:
+    """Accumulate PCA sufficient statistics batch by batch.
+
+    Memory is ``O(p²)`` for ``p`` features, independent of how many
+    rows stream through.  Feed batches with :meth:`partial_fit`, then
+    call :meth:`finalize` for a standard :class:`PCAModel`.
+    """
+
+    def __init__(self, n_features: int) -> None:
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        self.n_features = n_features
+        self.n = 0
+        self._sum = np.zeros(n_features, dtype=np.float64)
+        self._sumsq = np.zeros(n_features, dtype=np.float64)
+        self._gram = np.zeros((n_features, n_features), dtype=np.float64)
+
+    def partial_fit(self, batch: np.ndarray) -> "IncrementalPCA":
+        """Fold one ``(rows, n_features)`` batch into the statistics."""
+        if batch.ndim != 2 or batch.shape[1] != self.n_features:
+            raise ValueError(f"expected a (rows, {self.n_features}) batch")
+        if len(batch) == 0:
+            return self
+        batch = np.asarray(batch, dtype=np.float64)
+        self.n += len(batch)
+        self._sum += batch.sum(axis=0)
+        self._sumsq += np.square(batch).sum(axis=0)
+        self._gram += batch.T @ batch
+        return self
+
+    def finalize(self) -> PCAModel:
+        """Decompose the accumulated statistics into a :class:`PCAModel`.
+
+        The normalizer reproduces :meth:`Normalizer.fit` semantics —
+        near-constant columns (spread at floating-point noise level
+        relative to their magnitude) get unit scale — and component
+        standard deviations use the SVD convention ``sqrt(λ/(n-1))``,
+        so Kaiser retention via :meth:`PCAModel.retained` behaves
+        identically to the exact path.
+        """
+        if self.n < 2:
+            raise ValueError("PCA requires at least two observations")
+        n = self.n
+        mean = self._sum / n
+        var = np.clip(self._sumsq / n - mean**2, 0.0, None)
+        std = np.sqrt(var)
+        tol = 1e-12 * np.maximum(1.0, np.abs(mean))
+        scale = np.where(std > tol, std, 1.0)
+        normalizer = Normalizer(mean=mean, scale=scale)
+        gram_z = (self._gram - n * np.outer(mean, mean)) / np.outer(scale, scale)
+        eigvals, eigvecs = np.linalg.eigh(gram_z)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = np.clip(eigvals[order], 0.0, None)
+        components = eigvecs[:, order]
+        stds = np.sqrt(eigvals / (n - 1))
+        comp_var = stds**2
+        total = comp_var.sum()
+        explained = comp_var / total if total > 0 else np.zeros_like(comp_var)
+        return PCAModel(
+            normalizer=normalizer,
+            components=components,
+            stds=stds,
+            explained_ratio=explained,
+        )
+
+
+@dataclass(frozen=True)
+class StreamingProjector:
+    """Project raw feature batches into the rescaled PCA space.
+
+    The exact pipeline rescales retained scores by their empirical
+    (population, ``ddof=0``) standard deviation after subtracting the
+    empirical mean.  On the fitting stream the score mean is
+    analytically zero and the population variance of component ``j``
+    is ``λⱼ/n``, so one fixed per-component scale reproduces the
+    rescaled space without a second pass over the data.
+    """
+
+    model: PCAModel
+    scale: np.ndarray
+
+    @classmethod
+    def from_model(cls, model: PCAModel, n: int) -> "StreamingProjector":
+        """Build the projector for a model fitted on ``n`` rows."""
+        if n < 2:
+            raise ValueError("projector requires n >= 2 fitted rows")
+        # model.stds = sqrt(λ/(n-1)); the pipeline divides by the
+        # ddof=0 score std sqrt(λ/n).
+        scale = model.stds * np.sqrt((n - 1) / n)
+        scale = np.where(scale > 0, scale, 1.0)
+        return cls(model=model, scale=scale)
+
+    @property
+    def n_components(self) -> int:
+        return self.model.n_components
+
+    def transform(self, batch: np.ndarray) -> np.ndarray:
+        """Raw ``(rows, n_features)`` batch -> rescaled-space points."""
+        return self.model.transform(batch) / self.scale

@@ -1,0 +1,37 @@
+"""Bounded-memory streaming characterization.
+
+The exact pipeline (:mod:`repro.core`) materializes the full sampled
+feature matrix before any statistics run — ``O(n)`` memory in the
+number of sampled intervals.  This package runs the same methodology
+in streaming form: traces are generated and featurized
+``batch_intervals`` rows at a time (:func:`repro.core.iter_feature_batches`),
+PCA is fitted from fixed-size sufficient statistics
+(:class:`repro.stats.IncrementalPCA`), and clustering runs exact Lloyd
+iterations one stream-pass at a time
+(:class:`repro.stats.StreamingLloyd`, with optional
+:class:`repro.stats.MiniBatchKMeans` warmup) under the exact path's
+restart/seed-stream/BIC discipline.  Peak memory is ``O(batch)`` plus
+the deliberately-retained per-row label/pick vectors (8 bytes/row),
+regardless of trace length.
+
+The exact path stays the default and pins correctness; streaming is
+*approximate*, with its gap pinned by ``tests/streaming`` (BIC-selected
+non-empty cluster count within ±1 of exact, cluster-composition
+agreement >= 95%) and its memory contract gated by
+``benchmarks/bench_streaming_memory.py``.
+"""
+
+from .engine import (
+    STREAMING_WARMUP_EPOCHS,
+    StreamingCharacterization,
+    run_streaming_characterization,
+)
+from .result import load_streaming_result, save_streaming_result
+
+__all__ = [
+    "STREAMING_WARMUP_EPOCHS",
+    "StreamingCharacterization",
+    "load_streaming_result",
+    "run_streaming_characterization",
+    "save_streaming_result",
+]

@@ -1,0 +1,291 @@
+"""The streaming characterization engine: featurize → project → cluster.
+
+Orchestrates the bounded-memory analogs of methodology steps 1-4 over
+a fixed :class:`~repro.core.SamplingPlan` in repeated passes, none of
+which ever holds the full feature matrix:
+
+1. **Statistics pass** — every batch feeds
+   :class:`~repro.stats.IncrementalPCA`; the raw feature rows that the
+   restart seed streams selected as initial centers are captured on
+   the way through.  Finalizing yields the retained
+   :class:`~repro.stats.PCAModel` and the rescaled-space projector.
+2. **Warmup passes** (``warmup_epochs``, default 0) — optional
+   :class:`~repro.stats.MiniBatchKMeans` blended updates.  Off by
+   default deliberately: the stream arrives benchmark by benchmark,
+   not i.i.d., and the order bias measurably steers mini-batch optima
+   away from Lloyd's (44-85% composition agreement in tuning runs)
+   without even reducing the refinement passes needed.  It exists for
+   shuffled/i.i.d. streams and strict pass budgets.
+3. **Refinement passes** — every restart's
+   :class:`~repro.stats.StreamingLloyd` runs exact Lloyd, one
+   iteration per pass, restarts advancing in lock-step over one shared
+   featurization sweep; each stops on its own convergence check, the
+   sweep stops when all have (at most ``config.kmeans_max_iter``
+   passes, typically far fewer).
+4. **Scoring pass** — centers frozen, each restart's
+   :class:`~repro.stats.FrozenScorer` accumulates labels, SSE,
+   cluster counts and representatives; the optional live
+   :class:`~repro.analysis.StreamingDriftMonitor` is fed the same
+   projected batches.
+
+Restart discipline is the exact path's, verbatim: the k-means root is
+drawn from ``generator("kmeans", config.seed)``, per-restart seeds
+come from the ``"km-restart"`` task stream, and each restart's initial
+centers are the same dataset rows the exact path would pick (the plan
+fixes ``n`` upfront, so the ``choice(n, size=k)`` draws coincide).
+Best restart is the highest streaming BIC, ties toward the lowest
+restart index.  Total featurization sweeps: ``2 + warmup_epochs +
+refinement passes`` — pair with a feature cache to make every sweep
+after the first serve from disk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.drift import StreamingDriftMonitor
+from ..config import AnalysisConfig
+from ..core.dataset import build_sampling_plan, iter_feature_batches
+from ..core.prominent import ProminentPhases
+from ..mica import N_FEATURES
+from ..obs import get_logger, metrics, span
+from ..parallel import generator_from_seed, task_seeds
+from ..stats import (
+    Clustering,
+    FrozenScorer,
+    IncrementalPCA,
+    MiniBatchKMeans,
+    StreamingLloyd,
+    StreamingProjector,
+)
+from ..suites import Benchmark
+from ..synth.rng import generator
+
+log = get_logger(__name__)
+
+#: Default mini-batch warmup passes before Lloyd refinement.  Zero:
+#: on the benchmark-ordered stream warmup demonstrably changes which
+#: local optimum the refinement converges to (away from the exact
+#: path's) while saving no refinement passes.
+STREAMING_WARMUP_EPOCHS = 0
+
+
+@dataclass
+class StreamingCharacterization:
+    """The streaming analog of :class:`~repro.core.PhaseCharacterization`.
+
+    Holds per-row provenance and labels (8-byte rows — the documented
+    ``O(n)`` remainder) but no feature matrix and no projected space;
+    those only ever existed one batch at a time.
+
+    Attributes:
+        suites / benchmarks / interval_indices: row provenance, aligned
+            with the exact path's dataset rows for the same config.
+        n_components: retained principal components.
+        explained_variance: fraction of variance they explain.
+        clustering: best-BIC streaming clustering (``assigned_sq`` is
+            ``None``; there are no materialized points to score).
+        prominent: prominent-phase selection over the streamed labels.
+        batch_intervals: rows per streamed batch.
+        warmup_epochs: mini-batch warmup passes that were run.
+    """
+
+    suites: np.ndarray
+    benchmarks: np.ndarray
+    interval_indices: np.ndarray
+    n_components: int
+    explained_variance: float
+    clustering: Clustering
+    prominent: ProminentPhases
+    batch_intervals: int
+    warmup_epochs: int
+
+    def __len__(self) -> int:
+        return len(self.interval_indices)
+
+
+def _restart_init_rows(
+    config: AnalysisConfig, n: int, k: int
+) -> List[np.ndarray]:
+    """Each restart's initial-center row indices, exact-path discipline."""
+    root = int(generator("kmeans", config.seed).integers(2**63))
+    seeds = task_seeds("km-restart", root, config.kmeans_restarts)
+    return [
+        generator_from_seed(seed).choice(n, size=k, replace=False) for seed in seeds
+    ]
+
+
+def _select_prominent_streaming(
+    scorer: FrozenScorer, n_rows: int, n_prominent: int
+) -> ProminentPhases:
+    """:func:`~repro.core.select_prominent_phases` from streamed stats.
+
+    Same selection code path given the same cluster sizes: descending
+    argsort (stable, then reversed), clipped to non-empty clusters,
+    weights as dataset fractions, representatives from the scorer's
+    running nearest-member tracking.
+    """
+    sizes = scorer.counts
+    non_empty = int(np.count_nonzero(sizes))
+    n_prominent = min(n_prominent, non_empty)
+    order = np.argsort(sizes)[::-1]
+    chosen = order[:n_prominent]
+    weights = sizes[chosen] / n_rows
+    return ProminentPhases(
+        cluster_ids=chosen.astype(np.int64),
+        weights=weights.astype(np.float64),
+        representative_rows=scorer.rep_rows[chosen],
+    )
+
+
+def run_streaming_characterization(
+    benchmarks: Sequence[Benchmark],
+    config: AnalysisConfig,
+    *,
+    counts: Optional[Dict[str, int]] = None,
+    feature_cache=None,
+    monitor: Optional[StreamingDriftMonitor] = None,
+    warmup_epochs: int = STREAMING_WARMUP_EPOCHS,
+) -> StreamingCharacterization:
+    """Run the bounded-memory characterization end to end.
+
+    Args:
+        benchmarks: the workloads to include.
+        config: methodology parameters; ``config.batch_intervals``
+            bounds the working set and ``config.seed`` drives the same
+            sampling and restart streams as the exact path.
+        counts: optional per-benchmark sample-count overrides (see
+            :func:`~repro.core.build_dataset`).
+        feature_cache: optional
+            :class:`~repro.io.FeatureBlockCache`.  Strongly
+            recommended for streaming: the engine makes several
+            featurization sweeps, and a cache makes every sweep after
+            the first serve from disk.
+        monitor: optional live drift monitor, fed every projected batch
+            of the scoring pass; query it mid-stream from another
+            thread or afterwards.
+        warmup_epochs: mini-batch warmup passes before Lloyd
+            refinement (default :data:`STREAMING_WARMUP_EPOCHS` = 0;
+            see the module docstring for why).
+
+    Returns:
+        The :class:`StreamingCharacterization`.
+    """
+    if warmup_epochs < 0:
+        raise ValueError("warmup_epochs must be >= 0")
+    plan = build_sampling_plan(benchmarks, config, counts=counts)
+    n = plan.total_rows
+    if n < 2:
+        raise ValueError("streaming characterization requires at least two rows")
+    k = min(config.n_clusters, n)
+    init_rows = _restart_init_rows(config, n, k)
+    needed = np.unique(np.concatenate(init_rows))
+    captured = np.empty((len(needed), N_FEATURES), dtype=np.float64)
+
+    def batches():
+        return iter_feature_batches(plan, config, feature_cache=feature_cache)
+
+    reg = metrics()
+    with span("streaming.pca", rows=n, batch=config.batch_intervals) as sp:
+        ipca = IncrementalPCA(N_FEATURES)
+        for batch in batches():
+            ipca.partial_fit(batch.features)
+            lo = np.searchsorted(needed, batch.start, side="left")
+            hi = np.searchsorted(needed, batch.start + len(batch), side="left")
+            if lo < hi:
+                captured[lo:hi] = batch.features[needed[lo:hi] - batch.start]
+        model = ipca.finalize().retained(config.pca_min_std)
+        projector = StreamingProjector.from_model(model, n)
+        explained = float(model.explained_ratio.sum())
+        sp.set(n_components=model.n_components, explained_variance=explained)
+    reg.gauge_set("streaming.n_components", model.n_components)
+    reg.gauge_set("streaming.explained_variance", explained)
+    log.info(
+        "streaming pca: retained %d components (%.1f%% variance) from %d rows",
+        model.n_components,
+        100 * explained,
+        n,
+    )
+
+    init_positions = [np.searchsorted(needed, rows) for rows in init_rows]
+    init_centers = [projector.transform(captured[pos]) for pos in init_positions]
+    if warmup_epochs > 0:
+        with span("streaming.warmup", restarts=len(init_centers), epochs=warmup_epochs):
+            warmers = [MiniBatchKMeans(c) for c in init_centers]
+            for _ in range(warmup_epochs):
+                for batch in batches():
+                    points = projector.transform(batch.features)
+                    for warmer in warmers:
+                        warmer.partial_fit(points)
+            init_centers = [warmer.centers for warmer in warmers]
+
+    refiners = [
+        StreamingLloyd(c, n, config.kmeans_max_iter) for c in init_centers
+    ]
+    with span("streaming.kmeans", k=k, restarts=len(refiners)) as sp:
+        passes = 0
+        while True:
+            active = [r for r in refiners if r.wants_pass()]
+            if not active:
+                break
+            passes += 1
+            for batch in batches():
+                points = projector.transform(batch.features)
+                for refiner in active:
+                    refiner.fold_batch(points)
+            for refiner in active:
+                refiner.end_pass()
+        sp.set(passes=passes)
+    reg.gauge_set("streaming.refine_passes", passes)
+
+    scorers = [FrozenScorer(refiner.centers, n) for refiner in refiners]
+    with span("streaming.score", restarts=len(scorers)):
+        for batch in batches():
+            points = projector.transform(batch.features)
+            for scorer in scorers:
+                scorer.score_batch(points)
+            if monitor is not None:
+                monitor.update(batch.suites, batch.benchmarks, points)
+
+    d = projector.n_components
+    best_index = 0
+    best_bic = float("-inf")
+    for i, scorer in enumerate(scorers):
+        bic = scorer.bic(d)
+        reg.histogram_observe("streaming.restart_bic", bic)
+        if bic > best_bic:
+            best_index, best_bic = i, bic
+    best = scorers[best_index]
+    clustering = Clustering(
+        centers=best.centers,
+        labels=best.labels,
+        bic=best_bic,
+        inertia=best.sse,
+        n_iter=refiners[best_index].n_iter,
+    )
+    prominent = _select_prominent_streaming(best, n, config.n_prominent)
+    reg.gauge_set("streaming.best_bic", best_bic)
+    reg.gauge_set("streaming.prominent_coverage", prominent.coverage)
+    log.info(
+        "streaming kmeans: k=%d best BIC %.2f (restart %d of %d, %d passes)",
+        clustering.k,
+        best_bic,
+        best_index,
+        len(scorers),
+        passes,
+    )
+    suites, names, indices = plan.provenance()
+    return StreamingCharacterization(
+        suites=suites,
+        benchmarks=names,
+        interval_indices=indices,
+        n_components=model.n_components,
+        explained_variance=explained,
+        clustering=clustering,
+        prominent=prominent,
+        batch_intervals=config.batch_intervals,
+        warmup_epochs=warmup_epochs,
+    )

@@ -1,0 +1,110 @@
+"""Sampling plans and the bounded-memory feature-batch iterator.
+
+The contract under test: concatenating every batch from
+:func:`iter_feature_batches` reproduces :func:`build_dataset` bit for
+bit — features and provenance — for any batch size, with or without a
+feature cache.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import AnalysisConfig
+from repro.core import (
+    build_dataset,
+    build_sampling_plan,
+    iter_feature_batches,
+)
+from repro.io import FeatureBlockCache
+from repro.mica import N_FEATURES
+from repro.suites import get_benchmark
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return AnalysisConfig.tiny()
+
+
+@pytest.fixture(scope="module")
+def benches():
+    return [
+        get_benchmark("BMW", "face"),
+        get_benchmark("BioPerf", "grappa"),
+        get_benchmark("MediaBenchII", "h264"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def dataset(benches, cfg):
+    return build_dataset(benches, cfg)
+
+
+@pytest.fixture(scope="module")
+def plan(benches, cfg):
+    return build_sampling_plan(benches, cfg)
+
+
+def _drain(plan, cfg, **kwargs):
+    batches = list(iter_feature_batches(plan, cfg, **kwargs))
+    features = np.vstack([b.features for b in batches])
+    suites = np.concatenate([b.suites for b in batches])
+    names = np.concatenate([b.benchmarks for b in batches])
+    indices = np.concatenate([b.interval_indices for b in batches])
+    return batches, features, suites, names, indices
+
+
+def test_plan_provenance_matches_dataset(plan, dataset):
+    suites, names, indices = plan.provenance()
+    np.testing.assert_array_equal(suites, dataset.suites)
+    np.testing.assert_array_equal(names, dataset.benchmarks)
+    np.testing.assert_array_equal(indices, dataset.interval_indices)
+    assert plan.total_rows == len(dataset)
+
+
+@pytest.mark.parametrize("batch_intervals", [1, 5, 16, 10_000])
+def test_batches_bitwise_reproduce_dataset(plan, cfg, dataset, batch_intervals):
+    batches, features, suites, names, indices = _drain(
+        plan, cfg, batch_intervals=batch_intervals
+    )
+    np.testing.assert_array_equal(features, dataset.features)
+    np.testing.assert_array_equal(suites, dataset.suites)
+    np.testing.assert_array_equal(names, dataset.benchmarks)
+    np.testing.assert_array_equal(indices, dataset.interval_indices)
+    assert all(len(b) <= batch_intervals for b in batches)
+    starts = [b.start for b in batches]
+    assert starts == sorted(starts)
+    assert starts[0] == 0
+
+
+def test_default_batch_size_comes_from_config(benches, dataset):
+    cfg = AnalysisConfig.tiny().replace(batch_intervals=3)
+    plan = build_sampling_plan(benches, cfg)
+    batches, features, *_ = _drain(plan, cfg)
+    assert max(len(b) for b in batches) <= 3
+    np.testing.assert_array_equal(features, dataset.features)
+
+
+def test_batches_with_cold_and_warm_cache(benches, cfg, dataset, tmp_path):
+    cache = FeatureBlockCache(tmp_path / "blocks")
+    plan = build_sampling_plan(benches, cfg)
+    _, cold, *_ = _drain(plan, cfg, batch_intervals=7, feature_cache=cache)
+    np.testing.assert_array_equal(cold, dataset.features)
+    # Blocks were stored; a second sweep must serve from them, bitwise.
+    stored = sum(1 for b in benches if cache.load(b.key, cfg))
+    assert stored == len(benches)
+    _, warm, *_ = _drain(plan, cfg, batch_intervals=7, feature_cache=cache)
+    np.testing.assert_array_equal(warm, dataset.features)
+
+
+def test_counts_override(benches, cfg):
+    counts = {benches[0].key: 4}
+    plan = build_sampling_plan(benches, cfg, counts=counts)
+    suites, names, _ = plan.provenance()
+    assert (names[suites == benches[0].suite] == benches[0].name).sum() == 4
+    _, features, *_ = _drain(plan, cfg, batch_intervals=6)
+    assert features.shape == (plan.total_rows, N_FEATURES)
+
+
+def test_batch_intervals_validated(plan, cfg):
+    with pytest.raises(ValueError):
+        next(iter_feature_batches(plan, cfg, batch_intervals=0))

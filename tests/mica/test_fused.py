@@ -166,3 +166,45 @@ def test_batch_slices_cover_everything():
     assert batch_slices(0, 10_000) == []
     # Oversized intervals still make progress one at a time.
     assert batch_slices(3, 10**9) == [slice(0, 1), slice(1, 2), slice(2, 3)]
+
+
+def test_exactly_max_interval_stays_fused(monkeypatch):
+    """An interval of exactly FUSED_MAX_INTERVAL_INSTRUCTIONS is fused."""
+    import repro.mica.fused as fused_mod
+
+    calls = []
+    real = fused_mod._characterize_fused
+    monkeypatch.setattr(
+        fused_mod,
+        "_characterize_fused",
+        lambda traces, config: calls.append(len(traces)) or real(traces, config),
+    )
+    at_limit = [
+        _fixed_trace(0, n=fused_mod.FUSED_MAX_INTERVAL_INSTRUCTIONS),
+        _fixed_trace(1, n=200),
+    ]
+    np.testing.assert_array_equal(
+        characterize_intervals(at_limit, CFG), _per_interval(at_limit)
+    )
+    assert calls == [2]  # <= is on the fused side of the boundary
+    over = [_fixed_trace(2, n=fused_mod.FUSED_MAX_INTERVAL_INSTRUCTIONS + 1)]
+    np.testing.assert_array_equal(
+        characterize_intervals(over, CFG), _per_interval(over)
+    )
+    assert calls == [2]  # one past the boundary switches engines
+
+
+def test_batch_splitting_mid_benchmark_bit_identical(monkeypatch):
+    """Splitting one benchmark's intervals across fused batches is invisible."""
+    import repro.mica.fused as fused_mod
+
+    monkeypatch.setattr(fused_mod, "FUSED_BATCH_INSTRUCTIONS", 700)
+    traces = [_fixed_trace(seed, n=150 + 10 * seed) for seed in range(9)]
+    slices = batch_slices(len(traces), 150)
+    assert len(slices) > 2  # the cap actually forces mid-benchmark splits
+    split = np.vstack(
+        [characterize_intervals(traces[s], CFG) for s in slices]
+    )
+    whole = characterize_intervals(traces, CFG)
+    np.testing.assert_array_equal(split, whole)
+    np.testing.assert_array_equal(split, _per_interval(traces))

@@ -37,6 +37,9 @@ def test_emit_bench_writes_report(tmp_path):
     emit_bench("demo", {"speedup": 2.0}, report=report, echo=lambda _: None)
     written = json.loads((tmp_path / "demo.json").read_text())
     assert written["speedup"] == 2.0
+    # Every reported bench also leaves the stable collector artifact.
+    stable = json.loads((tmp_path / "BENCH_demo.json").read_text())
+    assert stable == written
 
 
 def test_emit_bench_recreates_missing_output_dir(tmp_path):
@@ -50,6 +53,7 @@ def test_emit_bench_recreates_missing_output_dir(tmp_path):
 
     emit_bench("demo", {"speedup": 2.0}, report=report, echo=lambda _: None)
     assert json.loads((out / "demo.json").read_text())["speedup"] == 2.0
+    assert json.loads((out / "BENCH_demo.json").read_text())["speedup"] == 2.0
 
 
 def test_emit_bench_propagates_non_directory_errors():

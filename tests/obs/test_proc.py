@@ -1,0 +1,52 @@
+"""Peak-RSS gauges: getrusage reader, registry recording, report inclusion."""
+
+import numpy as np
+
+from repro.config import AnalysisConfig
+from repro.obs import (
+    MetricsRegistry,
+    build_report,
+    observe,
+    peak_rss_mb,
+    record_peak_rss,
+    validate_report,
+)
+
+
+def test_peak_rss_mb_is_positive_and_plausible():
+    peak = peak_rss_mb()
+    # The interpreter plus numpy resident set is megabytes, not zero
+    # and not terabytes.
+    assert 1.0 < peak < 1_000_000.0
+
+
+def test_peak_rss_grows_monotonically_with_allocation():
+    before = peak_rss_mb()
+    ballast = np.ones((4 << 20,), dtype=np.float64)  # 32 MiB touched
+    ballast[::4096] = 2.0
+    after = peak_rss_mb()
+    assert after >= before
+    del ballast
+
+
+def test_record_peak_rss_sets_gauge():
+    registry = MetricsRegistry()
+    peak = record_peak_rss(registry)
+    snap = registry.snapshot()
+    assert snap["gauges"]["proc.peak_rss_mb"] == peak
+    assert peak > 0
+
+
+def test_record_peak_rss_defaults_to_active_registry():
+    with observe(run_id="rss-test") as ob:
+        record_peak_rss()
+        gauges = ob.metrics.snapshot()["gauges"]
+    assert gauges["proc.peak_rss_mb"] > 0
+
+
+def test_run_report_includes_peak_rss_gauge():
+    with observe(run_id="rss-report") as ob:
+        pass
+    report = build_report(ob, config=AnalysisConfig.tiny(), command="test")
+    assert validate_report(report) == []
+    assert report["metrics"]["gauges"]["proc.peak_rss_mb"] > 0

@@ -1,0 +1,109 @@
+"""Tests for streaming (sufficient-statistics) PCA."""
+
+import numpy as np
+import pytest
+
+from repro.stats import IncrementalPCA, StreamingProjector, fit_pca
+from repro.stats.normalize import Normalizer
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    rng = np.random.default_rng(11)
+    base = rng.normal(size=(200, 8))
+    # Correlated columns so the spectrum is interesting.
+    base[:, 3] = 0.9 * base[:, 0] + 0.1 * base[:, 3]
+    base[:, 5] = -0.7 * base[:, 1] + 0.3 * base[:, 5]
+    base[:, 7] = 2.5  # constant column: unit-scale normalizer path
+    return base
+
+
+def _fit_in_batches(matrix, sizes):
+    ipca = IncrementalPCA(matrix.shape[1])
+    start = 0
+    for size in sizes:
+        ipca.partial_fit(matrix[start : start + size])
+        start += size
+    ipca.partial_fit(matrix[start:])
+    return ipca.finalize()
+
+
+def test_matches_exact_pca_spectrum(matrix):
+    exact = fit_pca(matrix)
+    stream = _fit_in_batches(matrix, [7, 50, 1, 64])
+    np.testing.assert_allclose(stream.stds, exact.stds, rtol=1e-9, atol=1e-12)
+    np.testing.assert_allclose(
+        stream.explained_ratio, exact.explained_ratio, rtol=1e-9, atol=1e-12
+    )
+
+
+def test_matches_exact_normalizer(matrix):
+    exact = Normalizer.fit(matrix)
+    stream = _fit_in_batches(matrix, [13, 13, 13]).normalizer
+    np.testing.assert_allclose(stream.mean, exact.mean, rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(stream.scale, exact.scale, rtol=1e-12, atol=1e-12)
+    # The constant column keeps unit scale in both.
+    assert stream.scale[7] == 1.0
+
+
+def test_components_match_up_to_sign(matrix):
+    exact = fit_pca(matrix)
+    stream = _fit_in_batches(matrix, [100])
+    for j in range(exact.n_components):
+        dot = abs(float(exact.components[:, j] @ stream.components[:, j]))
+        assert dot == pytest.approx(1.0, abs=1e-8)
+
+
+def test_retention_agrees_with_exact(matrix):
+    exact = fit_pca(matrix).retained(1.0)
+    stream = _fit_in_batches(matrix, [40, 40]).retained(1.0)
+    assert stream.n_components == exact.n_components
+
+
+def test_batch_partition_invariance(matrix):
+    one = _fit_in_batches(matrix, [200])
+    many = _fit_in_batches(matrix, [1] * 30 + [17, 90])
+    np.testing.assert_allclose(one.stds, many.stds, rtol=1e-12, atol=1e-14)
+
+
+def test_empty_batch_is_noop(matrix):
+    ipca = IncrementalPCA(8).partial_fit(matrix)
+    n_before = ipca.n
+    ipca.partial_fit(np.empty((0, 8)))
+    assert ipca.n == n_before
+
+
+def test_rejects_bad_shapes():
+    ipca = IncrementalPCA(4)
+    with pytest.raises(ValueError):
+        ipca.partial_fit(np.zeros(4))
+    with pytest.raises(ValueError):
+        ipca.partial_fit(np.zeros((3, 5)))
+    with pytest.raises(ValueError):
+        ipca.finalize()  # fewer than two rows seen
+    with pytest.raises(ValueError):
+        IncrementalPCA(0)
+
+
+def test_projector_reproduces_rescaled_space(matrix):
+    """Streamed batch projections == the exact path's rescaled space."""
+    exact = fit_pca(matrix).retained(1.0)
+    scores = exact.transform(matrix)
+    std = scores.std(axis=0)
+    scale = np.where(std > 0, std, 1.0)
+    space = (scores - scores.mean(axis=0)) / scale
+
+    stream_model = _fit_in_batches(matrix, [64, 64]).retained(1.0)
+    projector = StreamingProjector.from_model(stream_model, len(matrix))
+    got = np.vstack(
+        [projector.transform(matrix[i : i + 50]) for i in range(0, len(matrix), 50)]
+    )
+    # Signs may flip per component; compare absolute coordinates.
+    np.testing.assert_allclose(np.abs(got), np.abs(space), rtol=1e-6, atol=1e-8)
+
+
+def test_projector_dimensions(matrix):
+    model = _fit_in_batches(matrix, [200]).retained(1.0)
+    projector = StreamingProjector.from_model(model, len(matrix))
+    assert projector.n_components == model.n_components
+    assert projector.transform(matrix[:5]).shape == (5, model.n_components)

@@ -178,3 +178,46 @@ def test_report_rejects_invalid_document(tmp_path, capsys):
 def test_unknown_command_exits():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_characterize_streaming(tmp_path, capsys):
+    from repro.streaming import load_streaming_result
+
+    path = tmp_path / "stream.npz"
+    code = main(
+        [
+            "characterize",
+            str(path),
+            "--preset",
+            "tiny",
+            "--suite",
+            "BMW",
+            "--streaming",
+            "--batch-intervals",
+            "8",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "streaming, 8 intervals/batch" in out
+    assert "intervals (streamed)" in out
+    result = load_streaming_result(path)
+    assert result.batch_intervals == 8
+    assert len(result) > 0
+
+
+def test_characterize_streaming_rejects_bad_batch(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "characterize",
+                str(tmp_path / "x.npz"),
+                "--preset",
+                "tiny",
+                "--suite",
+                "BMW",
+                "--streaming",
+                "--batch-intervals",
+                "0",
+            ]
+        )

@@ -68,3 +68,19 @@ def test_execution_knobs_excluded_from_full_key():
     base = AnalysisConfig.tiny()
     assert base.full_key() == base.replace(kmeans_engine="reference").full_key()
     assert base.full_key() == base.replace(n_jobs=4).full_key()
+
+
+def test_streaming_knobs_validated():
+    base = AnalysisConfig.tiny()
+    with pytest.raises(ValueError):
+        base.replace(batch_intervals=0)
+    assert base.streaming is False
+    assert base.replace(streaming=True).streaming is True
+
+
+def test_streaming_knobs_participate_in_full_key():
+    # Streaming is an approximation, not an execution knob: results can
+    # differ from the exact path, so both fields key the cache.
+    base = AnalysisConfig.tiny()
+    assert base.full_key() != base.replace(streaming=True).full_key()
+    assert base.full_key() != base.replace(batch_intervals=512).full_key()
