@@ -98,6 +98,14 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             config = config.replace(streaming=True)
         if args.batch_intervals is not None:
             config = config.replace(batch_intervals=args.batch_intervals)
+        if not args.spool:
+            config = config.replace(spool=False)
+        if args.spool_dir is not None:
+            config = config.replace(spool_dir=args.spool_dir)
+        if args.spool_max_mb is not None:
+            config = config.replace(spool_max_bytes=args.spool_max_mb * 1_000_000)
+        if args.prefetch is not None:
+            config = config.replace(prefetch=args.prefetch)
     except ValueError as exc:
         raise SystemExit(f"repro characterize: error: {exc}")
     benches = _select_benchmarks(args.suite)
@@ -167,11 +175,12 @@ def _characterize_streaming(
 ) -> int:
     """The ``--streaming`` branch: bounded-memory engine, own artifact.
 
-    Streaming makes several featurization passes (statistics, Lloyd
-    refinement, scoring) instead of holding the matrix, so there is no
-    dataset stage to checkpoint;
-    crash resilience comes from ``--feature-cache``, which turns every
-    pass after the first into disk reads.
+    Streaming never holds the matrix, so there is no dataset stage to
+    checkpoint.  By default the engine featurizes exactly once and
+    replays every later pass from its memory-mapped spool
+    (``--spool-dir`` makes that survive across runs); ``--no-spool``
+    recomputes each pass, where ``--feature-cache`` turns the repeats
+    into disk reads.
     """
     from .analysis import StreamingDriftMonitor
     from .streaming import run_streaming_characterization, save_streaming_result
@@ -202,6 +211,11 @@ def _characterize_streaming(
         f"{result.clustering.k} clusters, "
         f"{len(result.prominent)} prominent phases "
         f"({100 * result.prominent.coverage:.1f}% coverage)"
+    )
+    print(
+        f"sweeps: {result.featurize_sweeps} featurized, "
+        f"{result.replay_sweeps} replayed "
+        f"({result.spool_bytes / 1e6:.1f} MB spooled)"
     )
     drifts = {k: v for k, v in monitor.drift().items() if v is not None}
     for key, value in sorted(drifts.items()):
@@ -414,8 +428,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded-memory engine: featurize in batches, incremental "
         "PCA, mini-batch k-means.  Approximate (see docs/methodology.md); "
         "the default exact path pins correctness.  Stage checkpoints do "
-        "not apply; pair with --feature-cache to make the engine's "
-        "multiple featurization passes cheap",
+        "not apply; the feature spool (on by default) makes every pass "
+        "after the first a zero-copy replay",
     )
     p.add_argument(
         "--batch-intervals",
@@ -424,6 +438,40 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="intervals per streamed batch (peak working set is O(N); "
         "default: preset value, 256)",
+    )
+    p.add_argument(
+        "--spool",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="featurize the streaming plan once into an on-disk "
+        "memory-mapped spool and replay every later pass zero-copy "
+        "(bit-identical; --no-spool recomputes each pass)",
+    )
+    p.add_argument(
+        "--spool-dir",
+        default=None,
+        metavar="DIR",
+        help="keep the feature spool in DIR instead of a per-run "
+        "temporary directory; a rerun of the same plan then skips "
+        "featurization entirely",
+    )
+    p.add_argument(
+        "--spool-max-mb",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="disk budget for the spool in megabytes; a spool that "
+        "would exceed it is declined and passes recompute instead "
+        "(default: unlimited)",
+    )
+    p.add_argument(
+        "--prefetch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="streamed batches generated+metered ahead of consumption "
+        "on the featurizing sweep (bounded queue; 0 disables; "
+        "default: 1)",
     )
     p.add_argument(
         "--resume",

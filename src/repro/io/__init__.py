@@ -20,14 +20,17 @@ from .cache import (
     feature_block_dir,
 )
 from .feature_blocks import FeatureBlockCache
+from .spool import FeatureSpool, SpoolWriter
 from .tables import format_table
 
 __all__ = [
     "ArtifactError",
     "CorruptArtifact",
     "FeatureBlockCache",
+    "FeatureSpool",
     "LockTimeout",
     "SchemaMismatch",
+    "SpoolWriter",
     "StageCheckpoint",
     "artifact_lock",
     "cached_characterization",

@@ -1,0 +1,108 @@
+"""Pipelined prefetch: overlap batch production with consumption.
+
+The streaming engine's cold sweep alternates two phases with disjoint
+costs — *produce* a batch (trace generation + fused MICA meters, the
+expensive part) and *consume* it (PCA folds, Lloyd distance passes).
+:func:`prefetch_iter` runs the producer iterator in one background
+thread feeding a bounded queue, so batch ``i+1`` is generated and
+metered while batch ``i`` is being consumed.  The meter kernels spend
+most of their time inside NumPy, which releases the GIL, so a single
+producer thread yields real overlap without any pickling.
+
+The contract mirrors the executor layer's determinism guarantees:
+
+* **ordered handoff** — a single producer filling a FIFO queue cannot
+  reorder batches, so the consumer sees exactly the sequence the bare
+  iterator would have produced;
+* **bounded memory** — at most ``depth`` finished batches wait in the
+  queue (plus the one being produced and the one being consumed), so
+  an ``O(batch)`` working set stays ``O(batch)``;
+* **error transparency** — a producer-side exception is re-raised in
+  the consumer at the point the failed batch would have arrived;
+* **no leaked threads** — abandoning the iterator mid-stream (early
+  ``break``, exception in the consumer) cancels the producer, which
+  notices within ``_POLL_SECONDS`` even while blocked on a full queue.
+
+``depth <= 0`` degrades to the bare iterator: same types, same order,
+no thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Iterator, TypeVar
+
+from ..obs import metrics
+
+T = TypeVar("T")
+
+#: How often a blocked producer re-checks for consumer cancellation.
+_POLL_SECONDS = 0.05
+
+#: Queue sentinel marking normal end of stream.
+_DONE = object()
+
+__all__ = ["prefetch_iter"]
+
+
+def prefetch_iter(iterable: Iterable[T], depth: int) -> Iterator[T]:
+    """Iterate ``iterable`` with up to ``depth`` items produced ahead.
+
+    Args:
+        iterable: the source iterator; consumed entirely on one
+            background thread when ``depth > 0``.
+        depth: finished items allowed to wait unconsumed.  ``0`` (or
+            negative) disables prefetching and iterates inline.
+    """
+    if depth <= 0:
+        yield from iterable
+        return
+
+    q: "queue.Queue" = queue.Queue(maxsize=depth)
+    cancelled = threading.Event()
+
+    def _put(entry) -> bool:
+        """Queue one tagged entry; False when the consumer cancelled."""
+        while not cancelled.is_set():
+            try:
+                q.put(entry, timeout=_POLL_SECONDS)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def _produce() -> None:
+        # Every queue entry is tagged, so payload items that happen to
+        # be tuples can never be mistaken for control messages.
+        try:
+            produced = 0
+            for item in iterable:
+                if not _put(("item", item)):
+                    return
+                produced += 1
+            metrics().counter_add("prefetch.batches", float(produced))
+            _put((_DONE, None))
+        except BaseException as exc:  # noqa: BLE001 - relayed to the consumer
+            _put(("error", exc))
+
+    worker = threading.Thread(target=_produce, name="repro-prefetch", daemon=True)
+    worker.start()
+    try:
+        while True:
+            tag, value = q.get()
+            if tag is _DONE:
+                return
+            if tag == "error":
+                raise value
+            yield value
+    finally:
+        cancelled.set()
+        # Unblock a producer waiting on a full queue so it can observe
+        # the cancellation and exit.
+        while True:
+            try:
+                q.get_nowait()
+            except queue.Empty:
+                break
+        worker.join(timeout=5.0)

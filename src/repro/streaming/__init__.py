@@ -12,7 +12,12 @@ iterations one stream-pass at a time
 :class:`repro.stats.MiniBatchKMeans` warmup) under the exact path's
 restart/seed-stream/BIC discipline.  Peak memory is ``O(batch)`` plus
 the deliberately-retained per-row label/pick vectors (8 bytes/row),
-regardless of trace length.
+regardless of trace length.  By default the plan is featurized exactly
+once: the first sweep tees every batch into a memory-mapped on-disk
+spool (:class:`repro.io.FeatureSpool`, via
+:class:`~repro.streaming.source.BatchSource`) and later passes replay
+it zero-copy — bit-identical to recomputation, and pipelined by
+:func:`repro.parallel.prefetch_iter` on the one cold sweep.
 
 The exact path stays the default and pins correctness; streaming is
 *approximate*, with its gap pinned by ``tests/streaming`` (BIC-selected
@@ -27,11 +32,14 @@ from .engine import (
     run_streaming_characterization,
 )
 from .result import load_streaming_result, save_streaming_result
+from .source import BatchSource, spool_fingerprints
 
 __all__ = [
     "STREAMING_WARMUP_EPOCHS",
+    "BatchSource",
     "StreamingCharacterization",
     "load_streaming_result",
     "run_streaming_characterization",
     "save_streaming_result",
+    "spool_fingerprints",
 ]

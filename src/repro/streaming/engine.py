@@ -19,14 +19,32 @@ which ever holds the full feature matrix:
 3. **Refinement passes** — every restart's
    :class:`~repro.stats.StreamingLloyd` runs exact Lloyd, one
    iteration per pass, restarts advancing in lock-step over one shared
-   featurization sweep; each stops on its own convergence check, the
-   sweep stops when all have (at most ``config.kmeans_max_iter``
-   passes, typically far fewer).
-4. **Scoring pass** — centers frozen, each restart's
+   sweep; each stops on its own convergence check, the sweep stops
+   when all have (at most ``config.kmeans_max_iter`` passes, typically
+   far fewer).
+4. **Scoring + drift pass** — centers frozen, each restart's
    :class:`~repro.stats.FrozenScorer` accumulates labels, SSE,
-   cluster counts and representatives; the optional live
-   :class:`~repro.analysis.StreamingDriftMonitor` is fed the same
-   projected batches.
+   cluster counts and representatives, and the optional live
+   :class:`~repro.analysis.StreamingDriftMonitor` folds the very same
+   projected batches — one fused sweep, never two.
+
+**Featurize once.**  All of these passes draw their batches from a
+:class:`~repro.streaming.source.BatchSource` backed by an on-disk
+:class:`~repro.io.FeatureSpool` (``config.spool``, on by default): the
+first sweep generates traces and runs the fused MICA meters — with
+``config.prefetch`` batches pipelined ahead of consumption — while
+teeing the rows to a memory-mapped store; every later sweep replays
+them zero-copy and bit-identical.  Once the projector is frozen, the
+first projected sweep spools the rescaled-space points too, so
+refinement/scoring/drift skip even the per-pass transform.  Pass
+accounting: with the spool, exactly **one** featurization sweep and
+one transform sweep happen per run (zero of either when a persistent
+``spool_dir`` already holds this plan's rows); without it, every pass
+featurizes — ``2 + warmup_epochs + refinement passes`` sweeps in all,
+the scoring/drift sweep being fused into one.  A corrupt spool is
+quarantined and the engine falls back to recomputation; a spool over
+``config.spool_max_bytes`` is declined upfront — results are
+bit-identical down every path.
 
 Restart discipline is the exact path's, verbatim: the k-means root is
 drawn from ``generator("kmeans", config.seed)``, per-restart seeds
@@ -34,13 +52,13 @@ come from the ``"km-restart"`` task stream, and each restart's initial
 centers are the same dataset rows the exact path would pick (the plan
 fixes ``n`` upfront, so the ``choice(n, size=k)`` draws coincide).
 Best restart is the highest streaming BIC, ties toward the lowest
-restart index.  Total featurization sweeps: ``2 + warmup_epochs +
-refinement passes`` — pair with a feature cache to make every sweep
-after the first serve from disk.
+restart index.
 """
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
@@ -48,8 +66,9 @@ import numpy as np
 
 from ..analysis.drift import StreamingDriftMonitor
 from ..config import AnalysisConfig
-from ..core.dataset import build_sampling_plan, iter_feature_batches
+from ..core.dataset import build_sampling_plan
 from ..core.prominent import ProminentPhases
+from ..io.spool import FeatureSpool
 from ..mica import N_FEATURES
 from ..obs import get_logger, metrics, span
 from ..parallel import generator_from_seed, task_seeds
@@ -63,6 +82,7 @@ from ..stats import (
 )
 from ..suites import Benchmark
 from ..synth.rng import generator
+from .source import BatchSource, spool_fingerprints
 
 log = get_logger(__name__)
 
@@ -91,6 +111,11 @@ class StreamingCharacterization:
         prominent: prominent-phase selection over the streamed labels.
         batch_intervals: rows per streamed batch.
         warmup_epochs: mini-batch warmup passes that were run.
+        featurize_sweeps: sweeps that ran trace generation + meters
+            (1 with a working spool; 0 when a persistent spool already
+            held the plan; one per pass without a spool).
+        replay_sweeps: sweeps served zero-copy from the spool.
+        spool_bytes: payload bytes the run sealed into its spool.
     """
 
     suites: np.ndarray
@@ -102,6 +127,9 @@ class StreamingCharacterization:
     prominent: ProminentPhases
     batch_intervals: int
     warmup_epochs: int
+    featurize_sweeps: int = 0
+    replay_sweeps: int = 0
+    spool_bytes: int = 0
 
     def __len__(self) -> int:
         return len(self.interval_indices)
@@ -141,6 +169,22 @@ def _select_prominent_streaming(
     )
 
 
+def _make_spool(plan, config: AnalysisConfig):
+    """The run's spool and (if we created one) its temporary root."""
+    if not config.spool:
+        return None, None
+    temp_root: Optional[str] = None
+    root = config.spool_dir
+    if root is None:
+        root = temp_root = tempfile.mkdtemp(prefix="repro-spool-")
+    spool = FeatureSpool(
+        root,
+        spool_fingerprints(plan, config),
+        max_bytes=config.spool_max_bytes,
+    )
+    return spool, temp_root
+
+
 def run_streaming_characterization(
     benchmarks: Sequence[Benchmark],
     config: AnalysisConfig,
@@ -156,16 +200,20 @@ def run_streaming_characterization(
         benchmarks: the workloads to include.
         config: methodology parameters; ``config.batch_intervals``
             bounds the working set and ``config.seed`` drives the same
-            sampling and restart streams as the exact path.
+            sampling and restart streams as the exact path.  The
+            execution knobs ``spool`` / ``spool_dir`` /
+            ``spool_max_bytes`` / ``prefetch`` control the
+            featurize-once store and the cold-sweep pipeline; none of
+            them changes the results.
         counts: optional per-benchmark sample-count overrides (see
             :func:`~repro.core.build_dataset`).
         feature_cache: optional
-            :class:`~repro.io.FeatureBlockCache`.  Strongly
-            recommended for streaming: the engine makes several
-            featurization sweeps, and a cache makes every sweep after
-            the first serve from disk.
-        monitor: optional live drift monitor, fed every projected batch
-            of the scoring pass; query it mid-stream from another
+            :class:`~repro.io.FeatureBlockCache` consulted on
+            featurizing sweeps.  With the spool on (the default) only
+            the first sweep featurizes, so the cache now matters for
+            cross-run reuse rather than cross-pass reuse.
+        monitor: optional live drift monitor, folded into the scoring
+            sweep (one fused pass); query it mid-stream from another
             thread or afterwards.
         warmup_epochs: mini-batch warmup passes before Lloyd
             refinement (default :data:`STREAMING_WARMUP_EPOCHS` = 0;
@@ -185,13 +233,34 @@ def run_streaming_characterization(
     needed = np.unique(np.concatenate(init_rows))
     captured = np.empty((len(needed), N_FEATURES), dtype=np.float64)
 
-    def batches():
-        return iter_feature_batches(plan, config, feature_cache=feature_cache)
+    spool, temp_root = _make_spool(plan, config)
+    try:
+        source = BatchSource(plan, config, feature_cache=feature_cache, spool=spool)
+        return _run_passes(
+            source, config, monitor, warmup_epochs, needed, captured, init_rows, k
+        )
+    finally:
+        if temp_root is not None:
+            shutil.rmtree(temp_root, ignore_errors=True)
 
+
+def _run_passes(
+    source: BatchSource,
+    config: AnalysisConfig,
+    monitor: Optional[StreamingDriftMonitor],
+    warmup_epochs: int,
+    needed: np.ndarray,
+    captured: np.ndarray,
+    init_rows: List[np.ndarray],
+    k: int,
+) -> StreamingCharacterization:
+    """Steps 1-4 over whatever the source serves (computed or replayed)."""
+    n = source.n_rows
+    plan = source.plan
     reg = metrics()
     with span("streaming.pca", rows=n, batch=config.batch_intervals) as sp:
         ipca = IncrementalPCA(N_FEATURES)
-        for batch in batches():
+        for batch in source.raw_batches():
             ipca.partial_fit(batch.features)
             lo = np.searchsorted(needed, batch.start, side="left")
             hi = np.searchsorted(needed, batch.start + len(batch), side="left")
@@ -216,8 +285,7 @@ def run_streaming_characterization(
         with span("streaming.warmup", restarts=len(init_centers), epochs=warmup_epochs):
             warmers = [MiniBatchKMeans(c) for c in init_centers]
             for _ in range(warmup_epochs):
-                for batch in batches():
-                    points = projector.transform(batch.features)
+                for _, points in source.projected_batches(projector):
                     for warmer in warmers:
                         warmer.partial_fit(points)
             init_centers = [warmer.centers for warmer in warmers]
@@ -232,8 +300,7 @@ def run_streaming_characterization(
             if not active:
                 break
             passes += 1
-            for batch in batches():
-                points = projector.transform(batch.features)
+            for _, points in source.projected_batches(projector):
                 for refiner in active:
                     refiner.fold_batch(points)
             for refiner in active:
@@ -241,14 +308,17 @@ def run_streaming_characterization(
         sp.set(passes=passes)
     reg.gauge_set("streaming.refine_passes", passes)
 
+    # Scoring and drift share one sweep: the scorers and the monitor
+    # fold the same projected batches, so a live drift readout costs
+    # zero extra passes.
     scorers = [FrozenScorer(refiner.centers, n) for refiner in refiners]
-    with span("streaming.score", restarts=len(scorers)):
-        for batch in batches():
-            points = projector.transform(batch.features)
+    with span("streaming.score", restarts=len(scorers), fused_drift=monitor is not None):
+        for start, points in source.projected_batches(projector):
             for scorer in scorers:
                 scorer.score_batch(points)
             if monitor is not None:
-                monitor.update(batch.suites, batch.benchmarks, points)
+                suites, names, _ = source.provenance_rows(start, len(points))
+                monitor.update(suites, names, points)
 
     d = projector.n_components
     best_index = 0
@@ -269,13 +339,20 @@ def run_streaming_characterization(
     prominent = _select_prominent_streaming(best, n, config.n_prominent)
     reg.gauge_set("streaming.best_bic", best_bic)
     reg.gauge_set("streaming.prominent_coverage", prominent.coverage)
+    reg.gauge_set("streaming.featurize_sweeps", source.featurize_sweeps)
+    reg.gauge_set("streaming.replay_sweeps", source.replay_sweeps)
+    reg.gauge_set("spool.bytes_sealed", source.spool_bytes)
     log.info(
-        "streaming kmeans: k=%d best BIC %.2f (restart %d of %d, %d passes)",
+        "streaming kmeans: k=%d best BIC %.2f (restart %d of %d, %d passes; "
+        "%d featurize + %d replay sweeps, %.1f MB spooled)",
         clustering.k,
         best_bic,
         best_index,
         len(scorers),
         passes,
+        source.featurize_sweeps,
+        source.replay_sweeps,
+        source.spool_bytes / 1e6,
     )
     suites, names, indices = plan.provenance()
     return StreamingCharacterization(
@@ -288,4 +365,7 @@ def run_streaming_characterization(
         prominent=prominent,
         batch_intervals=config.batch_intervals,
         warmup_epochs=warmup_epochs,
+        featurize_sweeps=source.featurize_sweeps,
+        replay_sweeps=source.replay_sweeps,
+        spool_bytes=source.spool_bytes,
     )

@@ -46,6 +46,9 @@ def save_streaming_result(result: StreamingCharacterization, path: PathLike) -> 
         "n_iter": result.clustering.n_iter,
         "batch_intervals": result.batch_intervals,
         "warmup_epochs": result.warmup_epochs,
+        "featurize_sweeps": result.featurize_sweeps,
+        "replay_sweeps": result.replay_sweeps,
+        "spool_bytes": result.spool_bytes,
     }
     write_artifact(path, arrays, schema=STREAMING_SCHEMA, meta=meta)
 
@@ -77,4 +80,9 @@ def load_streaming_result(path: PathLike) -> StreamingCharacterization:
         prominent=prominent,
         batch_intervals=int(meta["batch_intervals"]),
         warmup_epochs=int(meta["warmup_epochs"]),
+        # Pass-accounting fields postdate the schema; old artifacts
+        # load with the zero defaults.
+        featurize_sweeps=int(meta.get("featurize_sweeps", 0)),
+        replay_sweeps=int(meta.get("replay_sweeps", 0)),
+        spool_bytes=int(meta.get("spool_bytes", 0)),
     )

@@ -1,0 +1,208 @@
+"""The engine's featurize-once batch front end.
+
+:class:`BatchSource` sits between the streaming engine's passes and
+:func:`repro.core.iter_feature_batches`, deciding per sweep whether
+batches are *computed* (trace generation + fused meters, optionally
+pipelined by :func:`repro.parallel.prefetch_iter`) or *replayed*
+zero-copy from the on-disk :class:`repro.io.FeatureSpool`:
+
+* **raw sweeps** (:meth:`raw_batches`) — the first sweep featurizes
+  and spools; every later sweep memory-maps the sealed spool and
+  yields bit-identical rows without touching a synthetic trace or a
+  MICA meter.
+* **projected sweeps** (:meth:`projected_batches`) — once the
+  :class:`~repro.stats.StreamingProjector` is frozen after the PCA
+  pass, the first projected sweep transforms (replayed) raw rows and
+  spools the points; refinement, scoring and drift passes after that
+  skip the per-pass ``projector.transform`` entirely.
+
+Every degradation path preserves results exactly: a corrupt or
+truncated spool is quarantined on verification failure and the sweep
+falls back to recomputation; a spool over the disk budget is declined
+upfront and every sweep recomputes, as if ``spool=False``.  The source
+also keeps the sweep ledger (featurized vs replayed) that the engine
+reports and the pass-count benchmark gates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from ..config import AnalysisConfig
+from ..core.dataset import FeatureBatch, SamplingPlan, iter_feature_batches
+from ..io.spool import FeatureSpool
+from ..mica import N_FEATURES
+from ..obs import get_logger, metrics
+from ..parallel import prefetch_iter
+from ..stats import StreamingProjector
+
+log = get_logger(__name__)
+
+#: Spool kind names for the two row spaces.
+RAW_KIND = "raw"
+PROJECTED_KIND = "proj"
+
+__all__ = ["BatchSource", "PROJECTED_KIND", "RAW_KIND", "spool_fingerprints"]
+
+
+def spool_fingerprints(plan: SamplingPlan, config: AnalysisConfig) -> dict:
+    """Content keys binding each spool kind to exactly its inputs.
+
+    Raw rows are fixed by the benchmark selection, the concrete
+    interval picks (which already encode seed, per-benchmark counts
+    and any overrides) and the featurization parameters.  Projected
+    points additionally depend on the analysis side of the config
+    (``pca_min_std`` via the fitted model), so they take the full
+    config key; over-keying is safe, serving stale rows is not.
+    """
+    h = hashlib.sha256()
+    h.update(json.dumps([b.key for b in plan.benchmarks]).encode())
+    for picks in plan.picks:
+        h.update(np.ascontiguousarray(picks, dtype=np.int64).tobytes())
+    h.update(config.featurization_key().encode())
+    raw = h.hexdigest()[:16]
+    proj = hashlib.sha256(f"{raw}|{config.full_key()}".encode()).hexdigest()[:16]
+    return {RAW_KIND: raw, PROJECTED_KIND: proj}
+
+
+class BatchSource:
+    """Serve the engine's sweeps, computing once and replaying after.
+
+    Args:
+        plan: the fixed row layout all sweeps iterate over.
+        config: supplies ``batch_intervals`` and the ``prefetch`` depth.
+        feature_cache: optional per-interval
+            :class:`~repro.io.FeatureBlockCache` used on featurizing
+            sweeps (orthogonal to the spool: blocks persist single
+            intervals across runs and configs, the spool persists this
+            plan's assembled row matrix across sweeps).
+        spool: the batch store, or None to recompute every sweep.
+    """
+
+    def __init__(
+        self,
+        plan: SamplingPlan,
+        config: AnalysisConfig,
+        *,
+        feature_cache=None,
+        spool: Optional[FeatureSpool] = None,
+    ):
+        self.plan = plan
+        self.config = config
+        self.feature_cache = feature_cache
+        self.spool = spool
+        self.n_rows = plan.total_rows
+        self._suites, self._names, self._indices = plan.provenance()
+        #: Sweeps that ran trace generation + meters (the expensive kind).
+        self.featurize_sweeps = 0
+        #: Sweeps served zero-copy from the spool.
+        self.replay_sweeps = 0
+        #: Projected sweeps that re-ran ``projector.transform``.
+        self.transform_sweeps = 0
+
+    def provenance_rows(
+        self, start: int, n: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Row-parallel ``(suites, benchmarks, interval_indices)`` views."""
+        return (
+            self._suites[start : start + n],
+            self._names[start : start + n],
+            self._indices[start : start + n],
+        )
+
+    def _batch(self, start: int, features: np.ndarray) -> FeatureBatch:
+        suites, names, indices = self.provenance_rows(start, len(features))
+        return FeatureBatch(
+            start=start,
+            features=features,
+            suites=suites,
+            benchmarks=names,
+            interval_indices=indices,
+        )
+
+    def _replay(self, kind: str, n_cols: int) -> Optional[Iterator[Tuple[int, np.ndarray]]]:
+        if self.spool is None:
+            return None
+        replay = self.spool.replay(kind, n_cols, self.config.batch_intervals)
+        if replay is not None:
+            self.replay_sweeps += 1
+            metrics().counter_add("spool.hits", 1)
+        return replay
+
+    def _writer(self, kind: str, n_cols: int):
+        if self.spool is None:
+            return None
+        return self.spool.writer(kind, self.n_rows, n_cols)
+
+    def raw_batches(self) -> Iterator[FeatureBatch]:
+        """One sweep of raw feature rows: replay if spooled, else compute.
+
+        The computing path runs :func:`iter_feature_batches` behind the
+        configured prefetch depth and tees every batch into the spool
+        writer; the spool seals only when the sweep completes, so an
+        abandoned or crashed sweep leaves nothing replayable behind.
+        """
+        replay = self._replay(RAW_KIND, N_FEATURES)
+        if replay is not None:
+            for start, rows in replay:
+                yield self._batch(start, rows)
+            return
+        self.featurize_sweeps += 1
+        if self.spool is not None:
+            metrics().counter_add("spool.misses", 1)
+        produced = prefetch_iter(
+            iter_feature_batches(self.plan, self.config, feature_cache=self.feature_cache),
+            self.config.prefetch,
+        )
+        writer = self._writer(RAW_KIND, N_FEATURES)
+        try:
+            for batch in produced:
+                if writer is not None:
+                    writer.append(batch.features)
+                yield batch
+            if writer is not None:
+                writer.seal()
+                writer = None
+        finally:
+            if writer is not None:
+                writer.abandon()
+
+    def projected_batches(
+        self, projector: StreamingProjector
+    ) -> Iterator[Tuple[int, np.ndarray]]:
+        """One sweep of rescaled-PCA-space points as ``(start, points)``.
+
+        The first projected sweep transforms the (usually replayed) raw
+        rows and spools the points; later sweeps replay them directly
+        and never touch the projector.
+        """
+        d = projector.n_components
+        replay = self._replay(PROJECTED_KIND, d)
+        if replay is not None:
+            yield from replay
+            return
+        self.transform_sweeps += 1
+        if self.spool is not None:
+            metrics().counter_add("spool.misses", 1)
+        writer = self._writer(PROJECTED_KIND, d)
+        try:
+            for batch in self.raw_batches():
+                points = projector.transform(batch.features)
+                if writer is not None:
+                    writer.append(points)
+                yield batch.start, points
+            if writer is not None:
+                writer.seal()
+                writer = None
+        finally:
+            if writer is not None:
+                writer.abandon()
+
+    @property
+    def spool_bytes(self) -> int:
+        """Payload bytes this source's spool has sealed (0 without one)."""
+        return self.spool.bytes_written if self.spool is not None else 0

@@ -212,26 +212,41 @@ class Kernel:
         reps = math.ceil(n / body_len)
         total = reps * body_len
         tmpl = self._template
+        partial_tail = total != n
 
-        op = np.tile(tmpl["op"], reps)
-        src1 = np.tile(tmpl["src1"], reps)
-        src2 = np.tile(tmpl["src2"], reps)
-        dst = np.tile(tmpl["dst"], reps)
-
-        # Program counters: per repetition, pick a code variant.
+        # Program counters: per repetition, pick a code variant.  Every
+        # random draw below keeps its full ceil-tiled size even when the
+        # final repetition is cut short, so a length-n trace is
+        # bit-identical to the head of a length-total one — only the
+        # output arrays are built at n, never materialized at total and
+        # copied down.
         if self.n_variants == 1:
             variant = np.zeros(reps, dtype=np.int64)
         else:
             variant = rng.integers(0, self.n_variants, size=reps, dtype=np.int64)
         body_span = body_len * self.pc_spacing
-        pc = (
-            self.code_base
-            + np.repeat(variant * body_span, body_len)
-            + np.tile(tmpl["pc_off"], reps)
-        )
 
-        addr = np.full(total, NO_ADDR, dtype=np.int64)
-        taken = np.zeros(total, dtype=bool)
+        if partial_tail:
+            pos = np.arange(n, dtype=np.int64)
+            body_idx = pos % body_len
+            op = tmpl["op"][body_idx]
+            src1 = tmpl["src1"][body_idx]
+            src2 = tmpl["src2"][body_idx]
+            dst = tmpl["dst"][body_idx]
+            pc = self.code_base + variant[pos // body_len] * body_span + tmpl["pc_off"][body_idx]
+        else:
+            op = np.tile(tmpl["op"], reps)
+            src1 = np.tile(tmpl["src1"], reps)
+            src2 = np.tile(tmpl["src2"], reps)
+            dst = np.tile(tmpl["dst"], reps)
+            pc = (
+                self.code_base
+                + np.repeat(variant * body_span, body_len)
+                + np.tile(tmpl["pc_off"], reps)
+            )
+
+        addr = np.full(n, NO_ADDR, dtype=np.int64)
+        taken = np.zeros(n, dtype=bool)
 
         # Fill addresses stream by stream, preserving program order.
         for stream, positions in self._group_by_stream():
@@ -241,7 +256,11 @@ class Kernel:
                 np.arange(reps, dtype=np.int64)[:, None] * body_len
                 + np.asarray(positions, dtype=np.int64)[None, :]
             ).ravel()
-            addr[flat] = seq
+            if partial_tail:
+                kept = flat < n
+                addr[flat[kept]] = seq[kept]
+            else:
+                addr[flat] = seq
 
         # Fill branch outcomes slot by slot.
         for slot_idx, slot in enumerate(self.body):
@@ -249,12 +268,10 @@ class Kernel:
                 taken[slot_idx::body_len] = True
             elif slot.branch is not None:
                 outcomes = slot.branch.outcomes(reps, rng)
-                taken[slot_idx::body_len] = outcomes
+                view = taken[slot_idx::body_len]
+                view[:] = outcomes[: len(view)]
 
-        trace = Trace(op=op, src1=src1, src2=src2, dst=dst, addr=addr, pc=pc, taken=taken)
-        if total != n:
-            trace = trace.slice(0, n)
-        return trace
+        return Trace(op=op, src1=src1, src2=src2, dst=dst, addr=addr, pc=pc, taken=taken)
 
     def _group_by_stream(self) -> List[Tuple[AddressStream, List[int]]]:
         groups: Dict[int, Tuple[AddressStream, List[int]]] = {}

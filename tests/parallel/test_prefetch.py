@@ -1,0 +1,102 @@
+"""Tests for the pipelined prefetch iterator."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import observe
+from repro.parallel import prefetch_iter
+
+
+def test_preserves_order_and_values():
+    for depth in (1, 2, 7, 100):
+        assert list(prefetch_iter(iter(range(25)), depth)) == list(range(25))
+
+
+def test_depth_zero_is_inline():
+    # No thread: the source is consumed lazily on the caller's thread.
+    consumed = []
+
+    def source():
+        for i in range(5):
+            consumed.append(i)
+            yield i
+
+    it = prefetch_iter(source(), 0)
+    assert consumed == []
+    assert next(it) == 0
+    assert consumed == [0]
+    assert list(it) == [1, 2, 3, 4]
+
+
+def test_negative_depth_is_inline():
+    assert list(prefetch_iter(iter([1, 2]), -3)) == [1, 2]
+
+
+def test_empty_source():
+    assert list(prefetch_iter(iter([]), 3)) == []
+
+
+def test_tuple_items_survive():
+    # Payloads that are themselves tuples must not be mistaken for the
+    # tagged control entries.
+    items = [("item", 1), ("error", 2), (None, None)]
+    assert list(prefetch_iter(iter(items), 2)) == items
+
+
+def test_producer_exception_reaches_consumer():
+    def source():
+        yield 1
+        yield 2
+        raise RuntimeError("meter blew up")
+
+    it = prefetch_iter(source(), 2)
+    assert next(it) == 1
+    assert next(it) == 2
+    with pytest.raises(RuntimeError, match="meter blew up"):
+        next(it)
+
+
+def test_early_close_stops_producer():
+    started = threading.active_count()
+    produced = []
+
+    def source():
+        for i in range(10_000):
+            produced.append(i)
+            yield i
+
+    it = prefetch_iter(source(), 2)
+    assert next(it) == 0
+    it.close()
+    deadline = time.monotonic() + 5.0
+    while threading.active_count() > started and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert threading.active_count() <= started
+    # Bounded lookahead: the producer never ran ahead of the queue.
+    assert len(produced) <= 10
+
+
+def test_bounded_lookahead():
+    produced = []
+
+    def source():
+        for i in range(100):
+            produced.append(i)
+            yield i
+
+    it = prefetch_iter(source(), 3)
+    assert next(it) == 0
+    # Give the producer time to fill the queue as far as it ever can:
+    # depth waiting + one in hand.
+    time.sleep(0.2)
+    high_water = len(produced)
+    assert high_water <= 5
+    assert list(it) == list(range(1, 100))
+
+
+def test_counts_prefetched_batches():
+    with observe() as ob:
+        assert list(prefetch_iter(iter(range(8)), 2)) == list(range(8))
+    assert ob.metrics.counter_value("prefetch.batches") == 8

@@ -40,6 +40,10 @@ def test_round_trip(result, tmp_path):
     assert loaded.explained_variance == result.explained_variance
     assert loaded.batch_intervals == result.batch_intervals
     assert loaded.warmup_epochs == result.warmup_epochs
+    assert loaded.featurize_sweeps == result.featurize_sweeps
+    assert loaded.replay_sweeps == result.replay_sweeps
+    assert loaded.spool_bytes == result.spool_bytes
+    assert result.featurize_sweeps == 1  # default spool: one cold sweep
     np.testing.assert_array_equal(
         loaded.prominent.cluster_ids, result.prominent.cluster_ids
     )
@@ -47,6 +51,23 @@ def test_round_trip(result, tmp_path):
         loaded.prominent.representative_rows,
         result.prominent.representative_rows,
     )
+
+
+def test_loads_pre_spool_artifacts(result, tmp_path):
+    # Artifacts written before the pass-accounting fields existed load
+    # with the zero defaults.
+    from repro.io.artifacts import write_artifact
+
+    path = tmp_path / "old.npz"
+    save_streaming_result(result, path)
+    arrays, meta = read_artifact(path, schema=STREAMING_SCHEMA)
+    for key in ("featurize_sweeps", "replay_sweeps", "spool_bytes"):
+        meta.pop(key)
+    write_artifact(path, arrays, schema=STREAMING_SCHEMA, meta=meta)
+    loaded = load_streaming_result(path)
+    assert loaded.featurize_sweeps == 0
+    assert loaded.replay_sweeps == 0
+    assert loaded.spool_bytes == 0
 
 
 def test_schema_tagged(result, tmp_path):

@@ -1,0 +1,233 @@
+"""The feature spool's engine-level contract: featurize once, change nothing.
+
+The spool and the prefetch pipeline are execution knobs — every test
+here pins *bit-identity* against the recompute-per-pass path, not
+approximate agreement, across batch sizes, prefetch depths, corruption,
+disk-budget declines and persistent-directory reuse.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.dataset as dataset_mod
+from repro.analysis import StreamingDriftMonitor
+from repro.config import AnalysisConfig
+from repro.core.dataset import build_sampling_plan, iter_feature_batches
+from repro.io.spool import FeatureSpool
+from repro.obs import observe
+from repro.streaming import run_streaming_characterization
+from repro.streaming.source import RAW_KIND
+from repro.suites import SUITE_INT2000, get_suite
+
+from ..io.faults import bit_flip
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return AnalysisConfig.tiny().replace(
+        intervals_per_benchmark=16,
+        n_clusters=6,
+        kmeans_restarts=2,
+        batch_intervals=7,  # deliberately not a divisor of any block
+    )
+
+
+@pytest.fixture(scope="module")
+def benches():
+    return get_suite(SUITE_INT2000).benchmarks[:4]
+
+
+@pytest.fixture(scope="module")
+def baseline(cfg, benches):
+    """Recompute-per-pass reference: no spool, no prefetch."""
+    return run_streaming_characterization(
+        benches, cfg.replace(spool=False, prefetch=0)
+    )
+
+
+def assert_identical(a, b):
+    np.testing.assert_array_equal(a.clustering.labels, b.clustering.labels)
+    np.testing.assert_array_equal(a.clustering.centers, b.clustering.centers)
+    assert a.clustering.bic == b.clustering.bic
+    assert a.clustering.inertia == b.clustering.inertia
+    assert a.n_components == b.n_components
+    assert a.explained_variance == b.explained_variance
+    np.testing.assert_array_equal(a.prominent.cluster_ids, b.prominent.cluster_ids)
+    np.testing.assert_array_equal(a.prominent.weights, b.prominent.weights)
+    np.testing.assert_array_equal(
+        a.prominent.representative_rows, b.prominent.representative_rows
+    )
+
+
+@pytest.mark.parametrize("spool", [True, False])
+@pytest.mark.parametrize("prefetch", [0, 2])
+def test_spool_and_prefetch_are_bit_identical(cfg, benches, baseline, spool, prefetch):
+    result = run_streaming_characterization(
+        benches, cfg.replace(spool=spool, prefetch=prefetch)
+    )
+    assert_identical(result, baseline)
+
+
+@pytest.mark.parametrize("batch_intervals", [1, 13, 64])
+def test_bit_identity_holds_at_any_batch_size(cfg, benches, batch_intervals):
+    # Spool on vs off at the same batch size (batch size itself is a
+    # result knob: it fixes the fold order).
+    on = run_streaming_characterization(
+        benches, cfg.replace(batch_intervals=batch_intervals, prefetch=2)
+    )
+    off = run_streaming_characterization(
+        benches, cfg.replace(batch_intervals=batch_intervals, spool=False)
+    )
+    assert_identical(on, off)
+
+
+def _count_featurize_calls(monkeypatch):
+    """Count invocations of the fused MICA meter entry point."""
+    calls = []
+    real = dataset_mod.characterize_intervals
+
+    def wrapper(*args, **kwargs):
+        calls.append(1)
+        return real(*args, **kwargs)
+
+    monkeypatch.setattr(dataset_mod, "characterize_intervals", wrapper)
+    return calls
+
+
+def test_spool_featurizes_exactly_one_sweep(cfg, benches, monkeypatch):
+    # The acceptance criterion: after the first sweep, refinement and
+    # scoring invoke no trace generation and no MICA meters — the total
+    # meter-call count over the whole run equals one plain sweep's.
+    local = cfg.replace(prefetch=0)
+    calls = _count_featurize_calls(monkeypatch)
+    plan = build_sampling_plan(benches, local)
+    for _ in iter_feature_batches(plan, local):
+        pass
+    one_sweep = len(calls)
+    assert one_sweep > 0
+    calls.clear()
+    result = run_streaming_characterization(benches, local)
+    assert len(calls) == one_sweep
+    assert result.featurize_sweeps == 1
+    assert result.replay_sweeps >= 2
+    assert result.spool_bytes > 0
+
+
+def test_without_spool_every_pass_featurizes(cfg, benches, monkeypatch):
+    local = cfg.replace(spool=False, prefetch=0)
+    calls = _count_featurize_calls(monkeypatch)
+    plan = build_sampling_plan(benches, local)
+    for _ in iter_feature_batches(plan, local):
+        pass
+    one_sweep = len(calls)
+    calls.clear()
+    result = run_streaming_characterization(benches, local)
+    assert result.featurize_sweeps > 1
+    assert len(calls) == one_sweep * result.featurize_sweeps
+    assert result.replay_sweeps == 0
+    assert result.spool_bytes == 0
+
+
+def test_scoring_and_drift_share_one_sweep(cfg, benches):
+    # Satellite pin: the drift monitor rides the scoring sweep; feeding
+    # it fully costs zero extra passes (sweeps == 2 + warmup + refine).
+    monitor = StreamingDriftMonitor()
+    with observe() as ob:
+        result = run_streaming_characterization(
+            benches, cfg.replace(spool=False), monitor=monitor
+        )
+    passes = ob.metrics.gauge_value("streaming.refine_passes")
+    assert passes >= 1
+    assert result.featurize_sweeps == 2 + result.warmup_epochs + passes
+    assert monitor.n_rows == len(result)
+
+
+def test_mid_run_corruption_quarantines_and_recomputes(
+    cfg, benches, baseline, tmp_path, monkeypatch
+):
+    # Flip a bit in the sealed raw payload the first time a replay
+    # opens it: verification must catch it, quarantine the pair, and
+    # the run must recompute to a bit-identical result.
+    spool_dir = tmp_path / "spool"
+    real_open = FeatureSpool.open_replay
+    flipped = []
+
+    def corrupting(self, kind, n_cols):
+        if kind == RAW_KIND and not flipped and self.data_path(kind).exists():
+            bit_flip(self.data_path(kind), offset=321)
+            flipped.append(True)
+        return real_open(self, kind, n_cols)
+
+    monkeypatch.setattr(FeatureSpool, "open_replay", corrupting)
+    result = run_streaming_characterization(
+        benches, cfg.replace(spool_dir=str(spool_dir), prefetch=0)
+    )
+    assert flipped, "corruption hook never fired"
+    assert list(spool_dir.glob("*.corrupt-*")), "damaged spool was not quarantined"
+    assert result.featurize_sweeps == 2  # cold sweep + post-quarantine recompute
+    assert_identical(result, baseline)
+
+
+def test_persistent_spool_dir_skips_featurization(
+    cfg, benches, baseline, tmp_path, monkeypatch
+):
+    spool_dir = tmp_path / "spool"
+    local = cfg.replace(spool_dir=str(spool_dir), prefetch=0)
+    first = run_streaming_characterization(benches, local)
+    assert first.featurize_sweeps == 1
+    assert spool_dir.exists()
+
+    calls = _count_featurize_calls(monkeypatch)
+    second = run_streaming_characterization(benches, local)
+    assert calls == []  # warm directory: zero trace generation, zero meters
+    assert second.featurize_sweeps == 0
+    assert second.spool_bytes == 0  # nothing new sealed
+    assert_identical(second, baseline)
+    assert_identical(second, first)
+
+
+def test_stale_fingerprint_never_served(cfg, benches, tmp_path):
+    # A persistent directory reused with a different featurization must
+    # re-spool under a new fingerprint, not replay the old rows.
+    spool_dir = tmp_path / "spool"
+    run_streaming_characterization(
+        benches, cfg.replace(spool_dir=str(spool_dir))
+    )
+    other = cfg.replace(
+        spool_dir=str(spool_dir), interval_instructions=cfg.interval_instructions * 2
+    )
+    result = run_streaming_characterization(benches, other)
+    assert result.featurize_sweeps == 1  # not served from the stale spool
+    reference = run_streaming_characterization(benches, other.replace(spool=False))
+    assert_identical(result, reference)
+
+
+def test_disk_budget_degrades_to_recompute(cfg, benches, baseline):
+    with observe() as ob:
+        result = run_streaming_characterization(
+            benches, cfg.replace(spool_max_bytes=64, prefetch=0)
+        )
+    assert result.featurize_sweeps > 1  # declined: every pass recomputes
+    assert result.spool_bytes == 0
+    assert ob.metrics.counter_value("spool.evictions") >= 1
+    assert_identical(result, baseline)
+
+
+def test_temp_spool_is_cleaned_up(cfg, benches, tmp_path, monkeypatch):
+    import tempfile
+
+    monkeypatch.setattr(tempfile, "tempdir", str(tmp_path))
+    run_streaming_characterization(benches, cfg)
+    assert list(tmp_path.glob("repro-spool-*")) == []
+
+
+def test_spool_counters(cfg, benches):
+    with observe() as ob:
+        run_streaming_characterization(benches, cfg.replace(prefetch=2))
+    m = ob.metrics
+    assert m.counter_value("spool.misses") == 2  # one cold sweep per kind
+    assert m.counter_value("spool.hits") >= 2
+    assert m.counter_value("spool.bytes") > 0
+    assert m.counter_value("spool.evictions") == 0
+    assert m.counter_value("prefetch.batches") > 0
+    assert m.gauge_value("streaming.featurize_sweeps") == 1

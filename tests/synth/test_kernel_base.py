@@ -144,6 +144,23 @@ def test_kernel_call_slots_always_taken(rng):
     assert t.taken[calls].all()
 
 
+def test_kernel_partial_tail_matches_full_tiling_prefix(rng):
+    # A length-n trace must be the exact prefix of the ceil-tiled trace:
+    # the tail-repetition shortcut may skip materializing the full tiling
+    # but must not change a single RNG draw or emitted value.
+    k = simple_kernel(rng, n_variants=4)
+    body_len = len(k.body)
+    for n in (1, 3, 5, 9, 101):
+        assert n % body_len != 0
+        reps = -(-n // body_len)
+        short = k.generate(n, generator("tail", n))
+        full = k.generate(reps * body_len, generator("tail", n)).slice(0, n)
+        for field in ("op", "src1", "src2", "dst", "addr", "pc", "taken"):
+            got, want = getattr(short, field), getattr(full, field)
+            assert np.array_equal(got, want), (n, field)
+            assert got.dtype == want.dtype, (n, field)
+
+
 def test_shared_stream_interleaves_in_program_order(rng):
     # Two loads sharing one sequential stream must see consecutive
     # addresses in program order.

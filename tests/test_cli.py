@@ -221,3 +221,73 @@ def test_characterize_streaming_rejects_bad_batch(tmp_path):
                 "0",
             ]
         )
+
+
+def test_characterize_streaming_spool_flags(tmp_path, capsys):
+    from repro.streaming import load_streaming_result
+
+    path = tmp_path / "stream.npz"
+    spool_dir = tmp_path / "spool"
+    args = [
+        "characterize",
+        str(path),
+        "--preset",
+        "tiny",
+        "--suite",
+        "BMW",
+        "--streaming",
+        "--spool-dir",
+        str(spool_dir),
+        "--prefetch",
+        "2",
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "sweeps: 1 featurized" in out
+    assert list(spool_dir.glob("spool_*.bin"))
+    first = load_streaming_result(path)
+
+    # Re-running against the warm directory skips featurization.
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "sweeps: 0 featurized" in out
+    second = load_streaming_result(path)
+    assert second.clustering.bic == first.clustering.bic
+
+
+def test_characterize_streaming_no_spool(tmp_path, capsys):
+    path = tmp_path / "stream.npz"
+    assert (
+        main(
+            [
+                "characterize",
+                str(path),
+                "--preset",
+                "tiny",
+                "--suite",
+                "BMW",
+                "--streaming",
+                "--no-spool",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "0 replayed (0.0 MB spooled)" in out
+
+
+def test_characterize_streaming_rejects_bad_prefetch(tmp_path):
+    with pytest.raises(SystemExit):
+        main(
+            [
+                "characterize",
+                str(tmp_path / "x.npz"),
+                "--preset",
+                "tiny",
+                "--suite",
+                "BMW",
+                "--streaming",
+                "--prefetch",
+                "-1",
+            ]
+        )
