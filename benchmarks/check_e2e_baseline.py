@@ -1,16 +1,28 @@
-"""Gate a fresh ``BENCH_e2e_wall.json`` against a committed baseline.
+"""Gate a fresh ``BENCH_e2e_wall.json`` against a baseline.
 
 CI calls this after ``bench_e2e_wall.py``::
 
     python benchmarks/check_e2e_baseline.py \
         benchmarks/output/BENCH_e2e_wall.json benchmarks/baselines/e2e_tiny.json
 
+The baseline **numbers** come from the run-history store when one is
+available (``--history-dir`` or ``$REPRO_HISTORY_DIR``):
+:meth:`repro.obs.HistoryStore.bench_baseline` returns the newest
+``e2e_wall`` record that is not the payload being checked (the bench
+appends its own result to the store before this gate runs), so a
+persistent runner compares against its *own previous run* — same
+machine, far less noise than a number committed from elsewhere.  When
+the store is absent or holds no prior record, the committed JSON is
+the baseline, exactly as before.  The tolerance knobs
+(``speedup_tolerance``, ``wall_tolerance``) always come from the
+committed file: they are policy, not measurements.
+
 The primary gate is the **speedup ratio** (optimized vs baseline
 pipeline): being a ratio of two runs on the same machine in the same
 job, it cancels runner speed out, so it gets a tight relative
 tolerance (``speedup_tolerance``, default 25%).  Absolute wall
 seconds vary wildly across runners, so they get only a generous
-order-of-magnitude guard (``wall_tolerance`` x the committed
+order-of-magnitude guard (``wall_tolerance`` x the baseline
 optimized wall, default 4x) that catches a pipeline accidentally
 running a much bigger scale or busy-looping, not runner noise.
 
@@ -24,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -52,7 +65,7 @@ def check(current: dict, baseline: dict) -> list:
     if speedup < floor:
         failures.append(
             f"speedup regression: {speedup:.2f}x < {floor:.2f}x "
-            f"(committed {baseline['speedup']:.2f}x minus {tolerance:.0%} tolerance)"
+            f"(baseline {baseline['speedup']:.2f}x minus {tolerance:.0%} tolerance)"
         )
 
     wall_tolerance = float(baseline.get("wall_tolerance", 4.0))
@@ -61,7 +74,7 @@ def check(current: dict, baseline: dict) -> list:
     if wall > ceiling:
         failures.append(
             f"optimized wall blow-up: {wall:.2f}s > {ceiling:.2f}s "
-            f"({wall_tolerance:.0f}x the committed {baseline['optimized_seconds']:.2f}s)"
+            f"({wall_tolerance:.0f}x the baseline {baseline['optimized_seconds']:.2f}s)"
         )
 
     if not current.get("bit_identical", False):
@@ -69,10 +82,51 @@ def check(current: dict, baseline: dict) -> list:
     return failures
 
 
+def resolve_baseline(
+    committed: dict, current: dict, history_dir: "str | None", bench_name: str
+) -> "tuple[dict, str]":
+    """Pick the baseline numbers: history store first, committed JSON else.
+
+    Returns ``(baseline, source)``.  A history baseline inherits the
+    committed file's tolerance knobs — measurements come from the
+    runner's own previous record, policy stays in the repo.
+    """
+    history_dir = history_dir or os.environ.get("REPRO_HISTORY_DIR")
+    if not history_dir:
+        return committed, "committed"
+    try:
+        from repro.obs import HistoryStore
+
+        envelope = HistoryStore(history_dir).bench_baseline(bench_name, current=current)
+    except Exception as exc:  # the store is an optimization, never a blocker
+        print(f"history store unavailable ({exc}); using committed baseline")
+        return committed, "committed"
+    if envelope is None:
+        return committed, "committed (history store has no prior record)"
+    baseline = dict(envelope.get("record") or {})
+    for knob in ("speedup_tolerance", "wall_tolerance"):
+        if knob in committed:
+            baseline.setdefault(knob, committed[knob])
+    source = (
+        f"history #{envelope.get('seq')} "
+        f"(git {str(envelope.get('git_sha') or '-')[:12]})"
+    )
+    return baseline, source
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", type=Path, help="fresh BENCH_e2e_wall.json")
     parser.add_argument("baseline", type=Path, help="committed baseline JSON")
+    parser.add_argument(
+        "--history-dir",
+        default=None,
+        help="run-history store to prefer over the committed baseline "
+        "(default: $REPRO_HISTORY_DIR when set)",
+    )
+    parser.add_argument(
+        "--name", default="e2e_wall", help="bench name in the history store"
+    )
     args = parser.parse_args(argv)
 
     if not args.current.exists():
@@ -82,13 +136,14 @@ def main(argv=None) -> int:
         print(f"missing committed baseline: {args.baseline}", file=sys.stderr)
         return 2
     current = load(args.current)
-    baseline = load(args.baseline)
+    committed = load(args.baseline)
+    baseline, source = resolve_baseline(committed, current, args.history_dir, args.name)
 
     failures = check(current, baseline)
     print(
         f"e2e gate [{current.get('preset')}]: "
         f"speedup {current.get('speedup')}x "
-        f"(baseline {baseline.get('speedup')}x), "
+        f"(baseline {baseline.get('speedup')}x from {source}), "
         f"optimized wall {current.get('optimized_seconds')}s "
         f"(baseline {baseline.get('optimized_seconds')}s)"
     )

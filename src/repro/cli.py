@@ -10,6 +10,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro render out.npz figdir/   # Figures 2/3 SVG pages
     python -m repro simulate out.npz SPECint2006 astar # section 5.3 CPI
     python -m repro report run.json          # render a --run-report file
+    python -m repro watch events.jsonl       # follow a live event log
+    python -m repro runs list                # browse the run-history store
 
 Every command prints plain text; figure pages are SVG files.
 ``--verbose`` raises the library log level (INFO on stderr) instead of
@@ -17,15 +19,26 @@ threading print callbacks through the pipeline; ``characterize
 --run-report PATH`` additionally records the whole run — span tree,
 metrics, config digest — as one JSON document (see
 docs/observability.md).
+
+Live telemetry: ``characterize --telemetry PATH|-`` streams ordered
+JSONL events (spans, progress/ETA, heartbeats, stage checkpoints,
+metric deltas) to a sink while the run executes; ``repro watch PATH``
+follows the log and ``repro report --from-events PATH`` reconstructs a
+(partial) run report from one — including after a SIGKILL.
+``--history-dir DIR`` appends the completed run report to the
+run-history store, which ``repro runs list|show|diff`` queries for
+cross-run regression detection.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from . import obs
 from .config import AnalysisConfig
@@ -133,30 +146,36 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     run_key = f"{_suite_tag(args.suite)}_{config.full_key()}"
     checkpoint = StageCheckpoint(stage_root, run_key, resume=args.resume)
     print(f"characterizing {len(benches)} benchmarks at preset {args.preset!r}...")
-    # --run-report turns telemetry collection on; without it the obs
-    # layer stays a no-op and the results are bit-identical either way.
+    # Telemetry collection turns on for --run-report, --telemetry, or
+    # --history-dir; with none of the three the obs layer stays a
+    # no-op and the results are bit-identical either way.
     observation = None
-    context = obs.observe(run_id=run_id) if args.run_report else _inert()
-    with context as observation:
-        with obs.span("characterize", preset=args.preset, benchmarks=len(benches)):
-            loaded = checkpoint.load(
-                "dataset",
-                require_arrays=("features", "suites", "benchmarks", "interval_indices"),
-            )
-            if loaded is not None:
-                dataset = dataset_from_arrays(loaded[0])
-                print(f"resumed dataset stage from {checkpoint.path('dataset')}")
-            else:
-                dataset = build_dataset(benches, config, feature_cache=feature_cache)
-                checkpoint.save("dataset", dataset_arrays(dataset))
-            result = run_characterization(
-                dataset, config, select_key=not args.no_ga, checkpoint=checkpoint
-            )
-    save_characterization(result, args.output)
-    if args.run_report:
-        doc = obs.build_report(observation, config=config, command="characterize")
-        path = obs.write_report(args.run_report, doc)
-        print(f"run report written to {path}")
+    context, bus = _telemetry_context(args, config, run_id, len(benches))
+    ok = False
+    try:
+        with context as observation:
+            with obs.span("characterize", preset=args.preset, benchmarks=len(benches)):
+                loaded = checkpoint.load(
+                    "dataset",
+                    require_arrays=("features", "suites", "benchmarks", "interval_indices"),
+                )
+                if loaded is not None:
+                    dataset = dataset_from_arrays(loaded[0])
+                    print(f"resumed dataset stage from {checkpoint.path('dataset')}")
+                else:
+                    dataset = build_dataset(benches, config, feature_cache=feature_cache)
+                    checkpoint.save("dataset", dataset_arrays(dataset))
+                result = run_characterization(
+                    dataset, config, select_key=not args.no_ga, checkpoint=checkpoint
+                )
+        save_characterization(result, args.output)
+        _finish_telemetry(args, config, observation)
+        ok = True
+    finally:
+        if bus is not None:
+            if observation is not None:
+                bus.emit_metric_deltas(observation.metrics)
+            bus.close(ok=ok)
     print(
         f"saved {args.output}: {len(dataset)} intervals, "
         f"{result.n_components} components "
@@ -191,19 +210,24 @@ def _characterize_streaming(
     )
     monitor = StreamingDriftMonitor()
     observation = None
-    context = obs.observe(run_id=run_id) if args.run_report else _inert()
-    with context as observation:
-        with obs.span(
-            "characterize.streaming", preset=args.preset, benchmarks=len(benches)
-        ):
-            result = run_streaming_characterization(
-                benches, config, feature_cache=feature_cache, monitor=monitor
-            )
-    save_streaming_result(result, args.output)
-    if args.run_report:
-        doc = obs.build_report(observation, config=config, command="characterize")
-        path = obs.write_report(args.run_report, doc)
-        print(f"run report written to {path}")
+    context, bus = _telemetry_context(args, config, run_id, len(benches))
+    ok = False
+    try:
+        with context as observation:
+            with obs.span(
+                "characterize.streaming", preset=args.preset, benchmarks=len(benches)
+            ):
+                result = run_streaming_characterization(
+                    benches, config, feature_cache=feature_cache, monitor=monitor
+                )
+        save_streaming_result(result, args.output)
+        _finish_telemetry(args, config, observation)
+        ok = True
+    finally:
+        if bus is not None:
+            if observation is not None:
+                bus.emit_metric_deltas(observation.metrics)
+            bus.close(ok=ok)
     print(
         f"saved {args.output}: {len(result)} intervals (streamed), "
         f"{result.n_components} components "
@@ -224,7 +248,7 @@ def _characterize_streaming(
 
 
 class _inert:
-    """Stand-in for ``obs.observe`` when no run report was requested."""
+    """Stand-in for ``obs.observe`` when no telemetry was requested."""
 
     def __enter__(self) -> None:
         return None
@@ -233,14 +257,157 @@ class _inert:
         return False
 
 
+def _telemetry_context(
+    args: argparse.Namespace, config, run_id: str, n_benchmarks: int
+) -> Tuple[object, Optional["obs.EventBus"]]:
+    """The observation context and (optional) event bus for a run.
+
+    Observation turns on when any of ``--run-report``, ``--telemetry``
+    or ``--history-dir`` asks for telemetry; the bus only exists for
+    ``--telemetry`` and opens the stream with a ``run.start`` carrying
+    enough context (command, preset, config digest, environment) for
+    ``repro report --from-events`` to rebuild a self-contained report.
+    """
+    bus = None
+    if args.telemetry:
+        bus = obs.EventBus(obs.JsonlSink(args.telemetry), run_id)
+    if not (args.run_report or args.telemetry or args.history_dir):
+        return _inert(), None
+    if bus is not None:
+        from .obs.report import _environment
+
+        bus.start(
+            command="characterize",
+            preset=args.preset,
+            benchmarks=n_benchmarks,
+            config={"digest": config.full_key(), "fields": {}},
+            environment=_environment(),
+            pid=os.getpid(),
+        )
+    return obs.observe(run_id=run_id, emitter=bus), bus
+
+
+def _finish_telemetry(args: argparse.Namespace, config, observation) -> None:
+    """Write the run report and/or append it to the history store."""
+    if observation is None or not (args.run_report or args.history_dir):
+        return
+    doc = obs.build_report(observation, config=config, command="characterize")
+    if args.run_report:
+        path = obs.write_report(args.run_report, doc)
+        print(f"run report written to {path}")
+    if args.history_dir:
+        record = obs.HistoryStore(args.history_dir).append_run(doc)
+        print(f"run recorded in history: {record}")
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
-    doc = obs.load_report(args.report)
+    if args.from_events:
+        events, truncated = obs.read_events(args.report)
+        if not events:
+            print(f"no parseable events in {args.report}", file=sys.stderr)
+            return 1
+        doc = obs.report_from_events(events, truncated=truncated)
+    else:
+        doc = obs.load_report(args.report)
     problems = obs.validate_report(doc)
     if problems:
         for problem in problems:
             print(f"invalid run report: {problem}", file=sys.stderr)
         return 1
+    if doc.get("partial"):
+        print("note: partial report reconstructed from an incomplete event log")
     print(obs.render_report(doc, max_children=args.max_spans), end="")
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    return obs.watch(args.events, once=args.once, interval=args.interval)
+
+
+def _iso(ts) -> str:
+    try:
+        return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(float(ts)))
+    except (TypeError, ValueError):
+        return "-"
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    store = obs.HistoryStore(args.history_dir)
+    rows = []
+    for envelope in store.records("run"):
+        report = envelope.get("record") or {}
+        wall = (report.get("spans") or {}).get("wall_s")
+        rows.append(
+            [
+                envelope.get("seq"),
+                "run",
+                envelope.get("run_id") or "-",
+                _iso(envelope.get("created")),
+                (envelope.get("git_sha") or "-")[:12],
+                f"{wall:.2f}s" if isinstance(wall, (int, float)) else "-",
+            ]
+        )
+    for envelope in store.records("bench"):
+        rows.append(
+            [
+                envelope.get("seq"),
+                "bench",
+                envelope.get("name") or "-",
+                _iso(envelope.get("created")),
+                (envelope.get("git_sha") or "-")[:12],
+                "-",
+            ]
+        )
+    if not rows:
+        print(f"no records in {store.root}")
+        return 0
+    rows.sort(key=lambda r: r[0])
+    print(format_table(["seq", "kind", "id", "created", "git", "wall"], rows))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    store = obs.HistoryStore(args.history_dir)
+    envelope = store.get(args.ref, kind=args.kind)
+    if envelope is None:
+        print(f"no {args.kind} record matching {args.ref!r}", file=sys.stderr)
+        return 1
+    print(
+        f"record #{envelope.get('seq')}  {envelope.get('schema')}  "
+        f"git {envelope.get('git_sha') or '-'}  {_iso(envelope.get('created'))}"
+    )
+    if args.kind == "run":
+        print(obs.render_report(envelope["record"]), end="")
+    else:
+        import json as _json
+
+        print(_json.dumps(envelope["record"], indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    store = obs.HistoryStore(args.history_dir)
+    records = store.records(args.kind)
+    if args.ref_a is None or args.ref_b is None:
+        if len(records) < 2:
+            print(
+                f"need two {args.kind} records to diff "
+                f"({len(records)} in {store.root})",
+                file=sys.stderr,
+            )
+            return 1
+        a, b = records[-2], records[-1]
+    else:
+        a = store.get(args.ref_a, kind=args.kind)
+        b = store.get(args.ref_b, kind=args.kind)
+        if a is None or b is None:
+            missing = args.ref_a if a is None else args.ref_b
+            print(f"no {args.kind} record matching {missing!r}", file=sys.stderr)
+            return 1
+    diff = obs.diff_records(a, b, tolerance=args.tolerance)
+    print(obs.render_diff(diff), end="")
+    if args.fail_on_regression and diff["regressions"]:
+        return 1
     return 0
 
 
@@ -393,6 +560,24 @@ def build_parser() -> argparse.ArgumentParser:
         "report here (render it with 'repro report PATH')",
     )
     p.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help="stream ordered JSONL telemetry events (spans, progress/ETA, "
+        "heartbeats, stage checkpoints, metric deltas) to PATH while the "
+        "run executes ('-' for stdout); follow it live with "
+        "'repro watch PATH', reconstruct a report from it with "
+        "'repro report --from-events PATH'",
+    )
+    p.add_argument(
+        "--history-dir",
+        default=None,
+        metavar="DIR",
+        help="append the completed run report to the run-history store in "
+        "DIR (checksummed, git-SHA-stamped records; query with "
+        "'repro runs list|show|diff')",
+    )
+    p.add_argument(
         "--n-jobs",
         type=int,
         default=None,
@@ -521,7 +706,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("report", help="render a characterize --run-report file")
-    p.add_argument("report", help="run-report JSON path")
+    p.add_argument("report", help="run-report JSON path (or an event log)")
     p.add_argument(
         "--max-spans",
         type=int,
@@ -529,7 +714,76 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="sibling spans shown per tree level before eliding",
     )
+    p.add_argument(
+        "--from-events",
+        action="store_true",
+        help="treat PATH as a --telemetry event log and reconstruct a "
+        "(possibly partial) run report from it — works on the truncated "
+        "log a SIGKILL'd run leaves behind",
+    )
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("watch", help="follow a live --telemetry event log")
+    p.add_argument("events", help="event-log path written by --telemetry")
+    p.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    p.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh period (default 1s)",
+    )
+    p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser("runs", help="query the run-history store")
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+    for sub_name, sub_help, sub_func in (
+        ("list", "list recorded runs and bench results", _cmd_runs_list),
+        ("show", "render one recorded run or bench result", _cmd_runs_show),
+        ("diff", "compare two records and flag regressions", _cmd_runs_diff),
+    ):
+        sp = runs_sub.add_parser(sub_name, help=sub_help)
+        sp.add_argument(
+            "--history-dir",
+            default=None,
+            metavar="DIR",
+            help="history store root (default: $REPRO_HISTORY_DIR or "
+            "~/.repro/history)",
+        )
+        sp.add_argument(
+            "--kind",
+            choices=("run", "bench"),
+            default="run",
+            help="record kind to operate on (default: run)",
+        )
+        sp.set_defaults(func=sub_func)
+        if sub_name == "show":
+            sp.add_argument("ref", help="'latest', a sequence number, or a run-id prefix")
+        elif sub_name == "diff":
+            sp.add_argument(
+                "ref_a",
+                nargs="?",
+                default=None,
+                help="older record (default: second-latest)",
+            )
+            sp.add_argument(
+                "ref_b", nargs="?", default=None, help="newer record (default: latest)"
+            )
+            sp.add_argument(
+                "--tolerance",
+                type=float,
+                default=0.10,
+                metavar="FRACTION",
+                help="relative movement beyond which a value is flagged "
+                "as a regression (default 0.10)",
+            )
+            sp.add_argument(
+                "--fail-on-regression",
+                action="store_true",
+                help="exit 1 when any regression is flagged",
+            )
     return parser
 
 

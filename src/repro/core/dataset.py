@@ -15,7 +15,7 @@ import numpy as np
 
 from ..config import AnalysisConfig
 from ..mica import N_FEATURES, batch_slices, characterize_intervals
-from ..obs import get_logger, metrics, span
+from ..obs import emit_progress, get_logger, metrics, span
 from ..parallel import Executor, get_executor
 from ..suites import Benchmark
 from .sampling import sample_interval_indices
@@ -191,6 +191,10 @@ def build_dataset(
             f" ({len(fresh)} computed)"
         )
         log.info("%s", line)
+        # The sampling plan fixes the total up front, so fraction/ETA
+        # are exact; on_result fires in submission order, so `i + 1`
+        # benchmarks are done when benchmark `i` reports.
+        emit_progress("dataset.build", i + 1, len(benchmarks))
         if progress is not None:
             progress(line)
 

@@ -26,7 +26,7 @@ if TYPE_CHECKING:  # import-time cycle: repro.io.cache imports repro.core
 from ..config import AnalysisConfig
 from ..ga import DistanceCorrelationFitness, GAResult, select_features
 from ..mica import N_FEATURES, feature_names
-from ..obs import get_logger, metrics, span
+from ..obs import emit_progress, get_logger, metrics, span
 from ..stats import Clustering, fit_pca, kmeans
 from ..synth.rng import generator
 from .dataset import WorkloadDataset
@@ -161,9 +161,14 @@ def run_characterization(
         The complete :class:`PhaseCharacterization`.
     """
     reg = metrics()
+    # Coarse live progress over the analysis macro-steps (pca, kmeans,
+    # prominent, and the GA when selected); the finer-grained per-unit
+    # streams (restarts, generations) come from the stages themselves.
+    analysis_steps = 4 if select_key else 3
     resumed = _load_analysis_stage(checkpoint)
     if resumed is not None:
         space, n_components, explained, clustering, prominent = resumed
+        emit_progress("analysis", 3, analysis_steps)
         log.info("analysis stage resumed from checkpoint")
     else:
         with span("pca", rows=len(dataset)) as sp:
@@ -175,6 +180,7 @@ def run_characterization(
             explained = float(model.explained_ratio.sum())
             sp.set(n_components=model.n_components, explained_variance=explained)
         n_components = model.n_components
+        emit_progress("analysis", 1, analysis_steps)
         reg.gauge_set("pca.n_components", n_components)
         reg.gauge_set("pca.explained_variance", explained)
         log.info(
@@ -196,6 +202,7 @@ def run_characterization(
                 engine=config.kmeans_engine,
             )
             sp.set(bic=clustering.bic, inertia=clustering.inertia, n_iter=clustering.n_iter)
+        emit_progress("analysis", 2, analysis_steps)
         log.info(
             "kmeans: k=%d best BIC %.2f after %d restarts",
             clustering.k,
@@ -205,6 +212,7 @@ def run_characterization(
         with span("prominent", n=config.n_prominent) as sp:
             prominent = select_prominent_phases(space, clustering, config.n_prominent)
             sp.set(selected=len(prominent), coverage=prominent.coverage)
+        emit_progress("analysis", 3, analysis_steps)
         reg.gauge_set("prominent.coverage", prominent.coverage)
         if checkpoint is not None:
             checkpoint.save(
@@ -256,6 +264,7 @@ def run_characterization(
                         "history": [float(h) for h in ga_result.history],
                     },
                 )
+        emit_progress("analysis", 4, analysis_steps)
         names = feature_names()
         key_names = [names[i] for i in ga_result.selected_indices()]
     return PhaseCharacterization(

@@ -16,7 +16,7 @@ from typing import Callable, List, Optional, Sequence
 import numpy as np
 
 from ..config import AnalysisConfig
-from ..obs import get_logger, metrics
+from ..obs import emit_progress, get_logger, metrics
 
 log = get_logger(__name__)
 
@@ -100,16 +100,22 @@ def _emit_generation(
     generation: int,
     gen_best: float,
     progress: Optional[Callable[[str], None]],
+    total_generations: int = 0,
 ) -> None:
     """Publish one generation's summary: obs metrics, log line, adapter.
 
     The ``progress`` callback receives the exact line the old
     ``print``-plumbing produced, so existing callers keep working; the
-    obs layer is the primary sink.
+    obs layer is the primary sink.  ``total_generations`` (the config
+    cap; early stopping can finish sooner, making the ETA an upper
+    bound) feeds the live telemetry progress stream when a bus is
+    attached.
     """
     reg = metrics()
     reg.counter_add("ga.generations", 1)
     reg.gauge_set("ga.best_fitness", gen_best)
+    if total_generations:
+        emit_progress("ga", generation + 1, total_generations)
     line = f"ga[{n_select}] gen {generation + 1}: best {gen_best:.4f}"
     cache_info = getattr(fitness, "cache_info", None)
     if cache_info is not None:
@@ -201,7 +207,14 @@ def select_features(
                 scores[target][worst] = _evaluate(fitness, [bests[p]])[0]
         gen_best = max(max(sc) for sc in scores)
         history.append(float(gen_best))
-        _emit_generation(fitness, n_select, generation, float(gen_best), progress)
+        _emit_generation(
+            fitness,
+            n_select,
+            generation,
+            float(gen_best),
+            progress,
+            config.ga_generations,
+        )
         if gen_best > best_score + 1e-12:
             best_score = gen_best
             for p in range(n_pop):

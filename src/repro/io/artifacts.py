@@ -48,7 +48,7 @@ from typing import Any, Dict, Iterator, Mapping, Optional, Sequence, Tuple, Unio
 
 import numpy as np
 
-from ..obs import get_logger, metrics
+from ..obs import emit_event, get_logger, metrics
 
 try:  # POSIX advisory locks; absent on some platforms
     import fcntl
@@ -582,6 +582,7 @@ class StageCheckpoint:
             )
             return None
         metrics().counter_add("checkpoint.stage_hits", 1)
+        emit_event("stage", stage=stage, action="resumed")
         log.info("resumed stage %r from %s", stage, path)
         return arrays, meta
 
@@ -595,6 +596,10 @@ class StageCheckpoint:
         path = self.path(stage)
         write_artifact(path, arrays, schema=f"stage:{stage}", meta=meta)
         metrics().counter_add("checkpoint.stage_writes", 1)
+        # The stage event lands on the telemetry stream *before* the
+        # fault-injection hook, so a SIGKILL right after the checkpoint
+        # leaves a log that already records the completed stage.
+        emit_event("stage", stage=stage, action="completed")
         log.debug("checkpointed stage %r to %s", stage, path)
         maybe_crash(stage)
         return path

@@ -29,6 +29,25 @@ Naming conventions and the report schema live in
 """
 
 from .bench import emit_bench
+from .events import (
+    EVENT_SCHEMA_VERSION,
+    EventBuffer,
+    EventBus,
+    JsonlSink,
+    ProgressEstimator,
+    emit_event,
+    emit_progress,
+    read_events,
+)
+from .history import (
+    HISTORY_SCHEMA_VERSION,
+    HistoryStore,
+    default_history_dir,
+    diff_records,
+    flatten_span_walls,
+    render_diff,
+)
+from .live import render_live, report_from_events, summarize_events, watch
 from .log import (
     ConsoleFormatter,
     JsonFormatter,
@@ -42,7 +61,9 @@ from .report import (
     REQUIRED_KEYS,
     SCHEMA_VERSION,
     STAGES,
+    STREAMING_STAGES,
     build_report,
+    git_sha,
     load_report,
     missing_stages,
     render_report,
@@ -64,15 +85,23 @@ from .spans import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "EVENT_SCHEMA_VERSION",
+    "HISTORY_SCHEMA_VERSION",
     "NOOP_REGISTRY",
     "REQUIRED_KEYS",
     "SCHEMA_VERSION",
     "STAGES",
+    "STREAMING_STAGES",
     "ConsoleFormatter",
+    "EventBuffer",
+    "EventBus",
+    "HistoryStore",
     "JsonFormatter",
+    "JsonlSink",
     "MetricsRegistry",
     "NoopMetricsRegistry",
     "Observation",
+    "ProgressEstimator",
     "RunIdFilter",
     "Snapshot",
     "Span",
@@ -81,8 +110,14 @@ __all__ = [
     "capture",
     "configure_logging",
     "current",
+    "default_history_dir",
+    "diff_records",
     "emit_bench",
+    "emit_event",
+    "emit_progress",
+    "flatten_span_walls",
     "get_logger",
+    "git_sha",
     "load_report",
     "metrics",
     "missing_stages",
@@ -90,9 +125,15 @@ __all__ = [
     "observe",
     "peak_rss_children_mb",
     "peak_rss_mb",
+    "read_events",
     "record_peak_rss",
+    "render_diff",
+    "render_live",
     "render_report",
+    "report_from_events",
     "span",
+    "summarize_events",
     "validate_report",
+    "watch",
     "write_report",
 ]

@@ -135,6 +135,9 @@ class _ActiveSpan:
         ob = self._ob
         ob._stack[-1].children.append(self._span)
         ob._stack.append(self._span)
+        emitter = ob.emitter
+        if emitter is not None:
+            emitter.span_open(self._span, len(ob._stack) - 1)
         self._cpu0 = time.process_time()
         self._wall0 = time.perf_counter()
         return self._span
@@ -144,8 +147,12 @@ class _ActiveSpan:
         self._span.cpu_s = time.process_time() - self._cpu0
         if exc_type is not None:
             self._span.attrs.setdefault("error", exc_type.__name__)
-        popped = self._ob._stack.pop()
+        ob = self._ob
+        popped = ob._stack.pop()
         assert popped is self._span, "span stack corrupted"
+        emitter = ob.emitter
+        if emitter is not None:
+            emitter.span_close(self._span, len(ob._stack))
         return False
 
 
@@ -183,16 +190,29 @@ class Snapshot:
     while serial and thread executors hand the observation object
     itself to :meth:`Observation.merge_snapshot` and skip the dict
     round-trip entirely.
+
+    ``events`` carries the task's buffered telemetry events (plus the
+    count any bounded buffer dropped) when the parent run has an event
+    bus attached; the parent replays them — exactly once, in submission
+    order — as part of the same merge that grafts the span tree.
     """
 
-    __slots__ = ("span", "metrics")
+    __slots__ = ("span", "metrics", "events", "events_dropped")
 
-    def __init__(self, span_dict: Dict[str, Any], metrics_dict: Dict[str, Any]) -> None:
+    def __init__(
+        self,
+        span_dict: Dict[str, Any],
+        metrics_dict: Dict[str, Any],
+        events: Optional[List[Dict[str, Any]]] = None,
+        events_dropped: int = 0,
+    ) -> None:
         self.span = span_dict
         self.metrics = metrics_dict
+        self.events = events
+        self.events_dropped = events_dropped
 
     def __reduce__(self):
-        return (Snapshot, (self.span, self.metrics))
+        return (Snapshot, (self.span, self.metrics, self.events, self.events_dropped))
 
 
 class Observation:
@@ -202,12 +222,24 @@ class Observation:
         run_id: identifier stamped on the run report and log records;
             generated when omitted.
         root_name: name of the implicit root span.
+        emitter: optional live-event destination — an
+            :class:`repro.obs.events.EventBus` for the main run, an
+            :class:`repro.obs.events.EventBuffer` for a worker task
+            (:class:`capture`), or None (the default) for report-only
+            collection.  The span layer notifies it on every span
+            open/close.
     """
 
-    def __init__(self, run_id: Optional[str] = None, root_name: str = "run") -> None:
+    def __init__(
+        self,
+        run_id: Optional[str] = None,
+        root_name: str = "run",
+        emitter: Optional[Any] = None,
+    ) -> None:
         self.run_id = run_id or new_run_id()
         self.root = Span(root_name)
         self.metrics = MetricsRegistry()
+        self.emitter = emitter
         self._stack: List[Span] = [self.root]
         self._wall0 = time.perf_counter()
         self._cpu0 = time.process_time()
@@ -222,9 +254,12 @@ class Observation:
         self.root.cpu_s = time.process_time() - self._cpu0
 
     def snapshot(self) -> Snapshot:
-        """Serialize the whole observation (root span + metrics)."""
+        """Serialize the whole observation (root span + metrics + events)."""
         self.finish()
-        return Snapshot(self.root.to_dict(), self.metrics.snapshot())
+        events, dropped = None, 0
+        if self.emitter is not None and hasattr(self.emitter, "drain"):
+            events, dropped = self.emitter.drain()
+        return Snapshot(self.root.to_dict(), self.metrics.snapshot(), events, dropped)
 
     def __reduce__(self):
         # Crossing a process boundary turns a live observation into its
@@ -232,7 +267,7 @@ class Observation:
         # observation object itself and only the fork backend pays for
         # serialization.
         snap = self.snapshot()
-        return (Snapshot, (snap.span, snap.metrics))
+        return (Snapshot, (snap.span, snap.metrics, snap.events, snap.events_dropped))
 
     def merge_snapshot(self, snap: "Snapshot | Observation") -> None:
         """Graft a worker observation under the current span, once.
@@ -248,13 +283,25 @@ class Observation:
         same-process task, whose finished span tree is grafted without
         any dict round-trip (the worker is done with it, so ownership
         transfers).
+
+        When this observation has an event bus attached, the worker's
+        buffered events are replayed into it here — the single merge
+        point — so live telemetry inherits the exactly-once, submission-
+        ordered discipline of the span/metric merge for free.
         """
+        events: Optional[List[Dict[str, Any]]] = None
+        dropped = 0
         if isinstance(snap, Observation):
             self._stack[-1].children.append(snap.root)
             self.metrics.merge_registry(snap.metrics)
+            if snap.emitter is not None and hasattr(snap.emitter, "drain"):
+                events, dropped = snap.emitter.drain()
         else:
             self._stack[-1].children.append(Span.from_dict(snap.span))
             self.metrics.merge(snap.metrics)
+            events, dropped = snap.events, snap.events_dropped
+        if events and self.emitter is not None and hasattr(self.emitter, "replay"):
+            self.emitter.replay(events, dropped)
 
 
 # --- current-observation resolution -------------------------------------
@@ -309,8 +356,15 @@ class observe:
     :class:`Observation` for snapshotting into a run report.
     """
 
-    def __init__(self, run_id: Optional[str] = None, root_name: str = "run") -> None:
-        self.observation = Observation(run_id=run_id, root_name=root_name)
+    def __init__(
+        self,
+        run_id: Optional[str] = None,
+        root_name: str = "run",
+        emitter: Optional[Any] = None,
+    ) -> None:
+        self.observation = Observation(
+            run_id=run_id, root_name=root_name, emitter=emitter
+        )
         self._prev_tls: Optional[Observation] = None
         self._prev_global: Optional[Observation] = None
 
@@ -343,7 +397,18 @@ class capture:
     """
 
     def __init__(self, label: str, root_name: str = "task") -> None:
-        root = Observation(run_id="worker", root_name=root_name)
+        emitter = None
+        parent = current()
+        if parent is not None and parent.emitter is not None:
+            # The parent run streams live telemetry; give this task a
+            # bounded buffer whose events ride back in the Snapshot.
+            # Workers never touch the parent's sink directly — a forked
+            # child would otherwise interleave writes on an inherited
+            # file handle.
+            from .events import EventBuffer
+
+            emitter = EventBuffer()
+        root = Observation(run_id="worker", root_name=root_name, emitter=emitter)
         root.root.set(label=label)
         self.observation = root
         self._prev: Optional[Observation] = None

@@ -164,6 +164,8 @@ class Executor:
         ]
         results: List[Any] = []
         parent = _obs.current()
+        emitter = parent.emitter if parent is not None else None
+        heartbeat = getattr(emitter, "heartbeat", None)
         for outcomes in self._imap_chunks(fn, payload, chunks):
             for outcome in outcomes:
                 if outcome[0] == "err":
@@ -172,9 +174,14 @@ class Executor:
                 # A 3-tuple carries a worker telemetry snapshot; graft
                 # it under the caller's current span here — and only
                 # here — so each task's metrics count exactly once.
+                # The same merge point emits the task's heartbeat, so
+                # liveness events inherit exactly-once submission order
+                # and a failed chunk's tail never beats.
                 if len(outcome) == 3 and parent is not None:
                     parent.merge_snapshot(outcome[2])
                 results.append(outcome[1])
+                if heartbeat is not None:
+                    heartbeat(labels[len(results) - 1], len(results), len(tasks))
                 if on_result is not None:
                     on_result(len(results) - 1, outcome[1])
         return results

@@ -36,7 +36,7 @@ from typing import Optional
 import numpy as np
 
 from ..obs import active as obs_active
-from ..obs import metrics, span
+from ..obs import emit_progress, metrics, span
 from ..parallel import (
     Executor,
     as_ndarray,
@@ -259,6 +259,7 @@ def kmeans(
                 seeds,
                 payload=(shared, k, max_iter, use_reference),
                 labels=[f"restart {i}" for i in range(restarts)],
+                on_result=lambda i, _res: emit_progress("kmeans", i + 1, restarts),
             )
         finally:
             dispose_shared(shared)

@@ -70,7 +70,7 @@ from ..core.dataset import build_sampling_plan
 from ..core.prominent import ProminentPhases
 from ..io.spool import FeatureSpool
 from ..mica import N_FEATURES
-from ..obs import get_logger, metrics, span
+from ..obs import emit_progress, get_logger, metrics, span
 from ..parallel import generator_from_seed, task_seeds
 from ..stats import (
     Clustering,
@@ -266,6 +266,9 @@ def _run_passes(
             hi = np.searchsorted(needed, batch.start + len(batch), side="left")
             if lo < hi:
                 captured[lo:hi] = batch.features[needed[lo:hi] - batch.start]
+            # The plan fixes n upfront, so per-batch fraction/ETA over
+            # the row ledger are exact even on the featurizing sweep.
+            emit_progress("streaming.pca", batch.start + len(batch), n)
         model = ipca.finalize().retained(config.pca_min_std)
         projector = StreamingProjector.from_model(model, n)
         explained = float(model.explained_ratio.sum())
@@ -305,6 +308,9 @@ def _run_passes(
                     refiner.fold_batch(points)
             for refiner in active:
                 refiner.end_pass()
+            # Total is the max_iter cap; convergence usually stops the
+            # sweep earlier, so the ETA is an upper bound by design.
+            emit_progress("streaming.kmeans", passes, config.kmeans_max_iter)
         sp.set(passes=passes)
     reg.gauge_set("streaming.refine_passes", passes)
 
@@ -319,6 +325,7 @@ def _run_passes(
             if monitor is not None:
                 suites, names, _ = source.provenance_rows(start, len(points))
                 monitor.update(suites, names, points)
+            emit_progress("streaming.score", start + len(points), n)
 
     d = projector.n_components
     best_index = 0

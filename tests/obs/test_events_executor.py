@@ -1,0 +1,138 @@
+"""Worker events through the executors: exactly once, submission order.
+
+Worker tasks never touch the sink; their events buffer into a bounded
+EventBuffer, ride back inside the telemetry snapshot, and replay into
+the parent's bus at the single merge point.  The resulting stream must
+be identical — strictly monotonic seqs, task events in submission
+order — for the serial, thread, and process backends, and a failed
+task's events must be discarded with its snapshot.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import EventBus, JsonlSink, emit_event, observe, span
+from repro.parallel import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    WorkerError,
+    fork_available,
+)
+
+BACKENDS = [
+    pytest.param(SerialExecutor(), id="serial"),
+    pytest.param(ThreadExecutor(3), id="thread"),
+    pytest.param(
+        ProcessExecutor(3),
+        id="process",
+        marks=pytest.mark.skipif(not fork_available(), reason="no fork"),
+    ),
+]
+
+
+def _task(payload, i):
+    with span("work", index=i):
+        emit_event("marker", index=i)
+    return i
+
+
+def _failing(payload, i):
+    emit_event("marker", index=i)
+    if i == 2:
+        raise RuntimeError("planned")
+    return i
+
+
+def _run(executor, fn, n, **kwargs):
+    handle = io.StringIO()
+    bus = EventBus(JsonlSink(handle), "r1")
+    with observe(emitter=bus):
+        with span("fanout"):
+            executor.map(fn, range(n), labels=[f"t{i}" for i in range(n)], **kwargs)
+    bus.close()
+    return [json.loads(line) for line in handle.getvalue().splitlines()]
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+def test_worker_events_replay_in_submission_order(executor):
+    events = _run(executor, _task, 5)
+    seqs = [e["seq"] for e in events]
+    assert seqs == list(range(len(events)))
+    markers = [e["index"] for e in events if e["type"] == "marker"]
+    assert markers == [0, 1, 2, 3, 4]
+    # Each task contributes exactly one open/close pair for its span.
+    opens = [e for e in events if e["type"] == "span.open" and e["span"] == "work"]
+    closes = [e for e in events if e["type"] == "span.close" and e["span"] == "work"]
+    assert [e["attrs"]["index"] for e in opens] == [0, 1, 2, 3, 4]
+    assert len(closes) == 5
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+def test_heartbeats_count_completed_tasks_in_order(executor):
+    events = _run(executor, _task, 4)
+    beats = [e for e in events if e["type"] == "heartbeat"]
+    assert [(e["label"], e["completed"], e["total"]) for e in beats] == [
+        ("t0", 1, 4),
+        ("t1", 2, 4),
+        ("t2", 3, 4),
+        ("t3", 4, 4),
+    ]
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+def test_stream_is_identical_across_backends(executor):
+    events = _run(executor, _task, 4, chunk_size=2)
+    shape = [
+        (e["type"], e.get("span"), e.get("index"))
+        for e in events
+        if e["type"] in ("span.open", "span.close", "marker")
+    ]
+    # The same canonical stream whatever the backend: each task's
+    # worker-side span and marker, per task, in submission order.
+    expected = []
+    for i in range(4):
+        expected += [
+            ("span.open", "work", None),
+            ("marker", None, i),
+            ("span.close", "work", None),
+        ]
+    assert shape == [("span.open", "fanout", None)] + expected + [
+        ("span.close", "fanout", None)
+    ]
+
+
+@pytest.mark.parametrize("executor", BACKENDS)
+def test_failed_task_events_are_discarded(executor):
+    handle = io.StringIO()
+    bus = EventBus(JsonlSink(handle), "r1")
+    with observe(emitter=bus):
+        with pytest.raises(WorkerError):
+            executor.map(_failing, range(4), chunk_size=4)
+    bus.close(ok=False)
+    events = [json.loads(line) for line in handle.getvalue().splitlines()]
+    markers = [e["index"] for e in events if e["type"] == "marker"]
+    # Tasks before the failure in the chunk replayed once each; the
+    # failing task's buffer died with its snapshot.
+    assert markers == [0, 1]
+    assert events[-1]["type"] == "run.end" and events[-1]["ok"] is False
+
+
+def test_no_emitter_means_no_worker_buffers():
+    # Without a bus on the parent observation, capture() must not
+    # allocate per-task buffers (events would be collected and thrown
+    # away on every merge).
+    from repro.obs.spans import capture
+
+    with observe():
+        with capture("t0") as worker:
+            pass
+        assert worker.emitter is None
+    handle = io.StringIO()
+    bus = EventBus(JsonlSink(handle), "r1")
+    with observe(emitter=bus):
+        with capture("t1") as worker:
+            pass
+        assert worker.emitter is not None  # a bounded EventBuffer

@@ -1,0 +1,186 @@
+"""Run-history store: append/verify/query, sequence discipline, diffs."""
+
+import json
+import os
+
+from repro.config import AnalysisConfig
+from repro.obs import (
+    HistoryStore,
+    Observation,
+    build_report,
+    default_history_dir,
+    diff_records,
+    emit_bench,
+    flatten_span_walls,
+    render_diff,
+)
+from repro.obs.history import _is_regression
+
+
+def _report(run_id="r1", walls=None):
+    walls = walls or {"pca": 0.1, "kmeans": 0.4}
+    ob = Observation(run_id=run_id)
+    with ob.span("characterize"):
+        for stage in walls:
+            with ob.span(stage):
+                pass
+    ob.metrics.gauge_set("prominent.coverage", 0.8)
+    doc = build_report(ob, config=AnalysisConfig.tiny(), command="characterize")
+
+    # Pin every wall (measured ones jitter) so diffs are deterministic:
+    # named stages get their requested value, containers get 1.0.
+    def pin(node):
+        node["wall_s"] = walls.get(node["name"], 1.0)
+        for child in node.get("children") or []:
+            pin(child)
+
+    pin(doc["spans"])
+    return doc
+
+
+def test_append_run_and_read_back(tmp_path):
+    store = HistoryStore(tmp_path)
+    path = store.append_run(_report("abc123"))
+    assert path.exists() and path.parent.name == "runs"
+    records = store.records("run")
+    assert len(records) == 1
+    assert records[0]["seq"] == 1
+    assert records[0]["run_id"] == "abc123"
+    assert records[0]["schema"] == "history:run"
+    assert records[0]["record"]["run_id"] == "abc123"
+
+
+def test_sequence_numbers_are_monotonic_across_kinds(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append_run(_report("r1"))
+    store.append_bench("e2e_wall", {"speedup": 2.0})
+    store.append_run(_report("r2"))
+    seqs = [e["seq"] for e in store.records("run")] + [
+        e["seq"] for e in store.records("bench")
+    ]
+    assert sorted(seqs) == [1, 2, 3]
+
+
+def test_lost_counter_never_reuses_a_seq(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append_run(_report("r1"))
+    store.append_run(_report("r2"))
+    os.unlink(store._counter_path())  # simulate a lost COUNTER file
+    store.append_run(_report("r3"))
+    assert [e["seq"] for e in store.records("run")] == [1, 2, 3]
+
+
+def test_corrupt_record_is_quarantined_not_served(tmp_path):
+    store = HistoryStore(tmp_path)
+    path = store.append_run(_report("r1"))
+    doc = json.loads(path.read_text())
+    doc["record"]["run_id"] = "tampered"
+    path.write_text(json.dumps(doc))
+    assert store.records("run") == []
+    assert not path.exists()  # moved aside, not deleted
+    leftovers = [p.name for p in path.parent.iterdir()]
+    assert any("corrupt" in name for name in leftovers)
+
+
+def test_get_resolves_latest_seq_and_run_id_prefix(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append_run(_report("aaa111"))
+    store.append_run(_report("bbb222"))
+    assert store.get("latest")["run_id"] == "bbb222"
+    assert store.get("1")["run_id"] == "aaa111"
+    assert store.get("bbb")["run_id"] == "bbb222"
+    assert store.get("zzz") is None
+
+
+def test_bench_baseline_skips_the_current_payload(tmp_path):
+    store = HistoryStore(tmp_path)
+    old = {"speedup": 2.0, "preset": "tiny"}
+    new = {"speedup": 1.5, "preset": "tiny"}
+    store.append_bench("e2e_wall", old)
+    store.append_bench("e2e_wall", new)
+    baseline = store.bench_baseline("e2e_wall", current=new)
+    assert baseline["record"] == old
+    # Without a current payload, the newest record is the baseline.
+    assert store.bench_baseline("e2e_wall")["record"] == new
+    assert store.bench_baseline("other") is None
+
+
+def test_emit_bench_appends_to_history_when_env_set(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_HISTORY_DIR", str(tmp_path / "hist"))
+    emit_bench("tiny_probe", {"speedup": 3.0, "note": "x"})
+    capsys.readouterr()
+    records = HistoryStore(tmp_path / "hist").records("bench", name="tiny_probe")
+    assert len(records) == 1
+    assert records[0]["record"]["speedup"] == 3.0
+    assert records[0]["git_sha"]  # stamped from the repo
+
+
+def test_emit_bench_without_env_stays_out_of_history(tmp_path, monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_HISTORY_DIR", raising=False)
+    monkeypatch.setattr("pathlib.Path.home", lambda: tmp_path)
+    emit_bench("tiny_probe", {"speedup": 3.0})
+    capsys.readouterr()
+    assert not (tmp_path / ".repro" / "history").exists()
+
+
+def test_default_history_dir_prefers_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_HISTORY_DIR", str(tmp_path))
+    assert default_history_dir() == tmp_path
+    monkeypatch.delenv("REPRO_HISTORY_DIR")
+    assert default_history_dir().name == "history"
+
+
+def test_flatten_span_walls_sums_repeated_names():
+    report = _report(walls={"kmeans": 0.3})
+    walls = flatten_span_walls(report["spans"])
+    assert walls["kmeans"] == 0.3
+    assert "characterize" in walls
+
+
+def test_diff_flags_stage_wall_regressions(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append_run(_report("r1", walls={"pca": 0.1, "kmeans": 0.4}))
+    store.append_run(_report("r2", walls={"pca": 0.1, "kmeans": 0.9}))
+    a, b = store.records("run")
+    diff = diff_records(a, b, tolerance=0.10)
+    # Stage names carry no direction hint; the stage-wall section
+    # defaults to lower-is-better, so the kmeans blow-up is flagged.
+    assert "kmeans" in diff["regressions"]
+    assert "pca" not in diff["regressions"]
+    text = render_diff(diff)
+    assert "REGRESSION" in text and "kmeans" in text
+
+
+def test_diff_bench_records_infers_direction_from_names(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append_bench("e2e_wall", {"speedup": 2.0, "optimized_seconds": 1.0})
+    store.append_bench("e2e_wall", {"speedup": 1.2, "optimized_seconds": 1.05})
+    a, b = store.records("bench")
+    diff = diff_records(a, b, tolerance=0.10)
+    assert "speedup" in diff["regressions"]  # dropped >10%: bad
+    assert "optimized_seconds" not in diff["regressions"]  # +5% < tolerance
+    improved = diff_records(b, a, tolerance=0.10)
+    assert "speedup" not in improved["regressions"]  # it went up
+
+
+def test_direction_inference_rules():
+    assert _is_regression("stage.wall_s", 1.0, 2.0, 0.1)
+    assert not _is_regression("stage.wall_s", 2.0, 1.0, 0.1)
+    assert _is_regression("rows_per_second", 100.0, 50.0, 0.1)
+    assert not _is_regression("rows_per_second", 50.0, 100.0, 0.1)
+    # No hint, no default: never flagged.
+    assert not _is_regression("mystery", 1.0, 100.0, 0.1)
+    # No hint, section default supplies the direction.
+    assert _is_regression("mystery", 1.0, 100.0, 0.1, default="lower")
+    # Within tolerance is never a regression.
+    assert not _is_regression("wall_s", 1.0, 1.05, 0.1)
+
+
+def test_render_diff_reports_no_regressions(tmp_path):
+    store = HistoryStore(tmp_path)
+    store.append_run(_report("r1"))
+    store.append_run(_report("r2"))
+    a, b = store.records("run")
+    diff = diff_records(a, b, tolerance=5.0)
+    assert diff["regressions"] == []
+    assert "no regressions" in render_diff(diff)

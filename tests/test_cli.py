@@ -291,3 +291,188 @@ def test_characterize_streaming_rejects_bad_prefetch(tmp_path):
                 "-1",
             ]
         )
+
+
+def test_characterize_telemetry_streams_events(tmp_path, capsys):
+    from repro.obs import read_events
+
+    events_path = tmp_path / "events.jsonl"
+    assert (
+        main(
+            [
+                "characterize",
+                str(tmp_path / "c.npz"),
+                "--preset",
+                "tiny",
+                "--suite",
+                "BMW",
+                "--no-ga",
+                "--telemetry",
+                str(events_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    events, truncated = read_events(events_path)
+    assert events and not truncated
+    assert events[0]["type"] == "run.start"
+    assert events[0]["command"] == "characterize"
+    assert events[-1]["type"] == "run.end" and events[-1]["ok"] is True
+    seqs = [e["seq"] for e in events]
+    assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+    closed = {e.get("span") for e in events if e["type"] == "span.close"}
+    assert {"pca", "kmeans"} <= closed
+    assert any(e["type"] == "progress" for e in events)
+
+    # The same log feeds the follower and the report reconstructor.
+    assert main(["watch", str(events_path), "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "finished ok" in out
+    assert main(["report", str(events_path), "--from-events"]) == 0
+    out = capsys.readouterr().out
+    assert "run report" in out and "kmeans" in out
+
+
+def test_characterize_history_records_and_runs_commands(tmp_path, capsys):
+    history = tmp_path / "history"
+    for out_npz in ("c1.npz", "c2.npz"):
+        # Distinct artifact paths so the second run re-executes every
+        # stage instead of resuming from the first run's stage cache
+        # (a resumed run records no per-stage spans to diff).
+        assert (
+            main(
+                [
+                    "characterize",
+                    str(tmp_path / out_npz),
+                    "--preset",
+                    "tiny",
+                    "--suite",
+                    "BMW",
+                    "--no-ga",
+                    "--history-dir",
+                    str(history),
+                ]
+            )
+            == 0
+        )
+    capsys.readouterr()
+
+    assert main(["runs", "list", "--history-dir", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "seq" in out and "git" in out and "wall" in out  # table header
+    data_rows = [ln for ln in out.splitlines() if " run " in f" {ln} "]
+    assert len(data_rows) == 2
+    assert main(["runs", "show", "latest", "--history-dir", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "run report" in out
+
+    # Two records in the store: diff prints per-stage wall deltas.
+    assert main(["runs", "diff", "--history-dir", str(history)]) == 0
+    out = capsys.readouterr().out
+    assert "history diff" in out
+    assert "stage wall_s" in out and "kmeans" in out
+    assert "delta" in out
+
+
+def test_runs_list_empty_store(tmp_path, capsys):
+    assert main(["runs", "list", "--history-dir", str(tmp_path / "empty")]) == 0
+    out = capsys.readouterr().out
+    assert "no records in" in out
+
+
+def test_runs_diff_needs_two_records(tmp_path, capsys):
+    from repro.obs import HistoryStore, Observation, build_report
+
+    store = HistoryStore(tmp_path / "h")
+    ob = Observation(run_id="only")
+    store.append_run(build_report(ob))
+    assert main(["runs", "diff", "--history-dir", str(tmp_path / "h")]) == 1
+    assert "need two" in capsys.readouterr().err
+
+
+def test_runs_diff_fail_on_regression(tmp_path, capsys):
+    from repro.obs import HistoryStore, Observation, build_report
+
+    def pinned(run_id, kmeans_wall):
+        ob = Observation(run_id=run_id)
+        with ob.span("characterize"):
+            with ob.span("kmeans"):
+                pass
+        doc = build_report(ob)
+
+        def pin(node):
+            node["wall_s"] = kmeans_wall if node["name"] == "kmeans" else 1.0
+            for child in node.get("children") or []:
+                pin(child)
+
+        pin(doc["spans"])
+        return doc
+
+    store = HistoryStore(tmp_path / "h")
+    store.append_run(pinned("r1", 0.4))
+    store.append_run(pinned("r2", 0.9))
+    assert (
+        main(
+            [
+                "runs",
+                "diff",
+                "--history-dir",
+                str(tmp_path / "h"),
+                "--tolerance",
+                "0.10",
+                "--fail-on-regression",
+            ]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out and "kmeans" in out
+    # The same pair within a huge tolerance passes.
+    assert (
+        main(
+            [
+                "runs",
+                "diff",
+                "--history-dir",
+                str(tmp_path / "h"),
+                "--tolerance",
+                "5.0",
+                "--fail-on-regression",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+
+def test_telemetry_flags_leave_results_bit_identical(tmp_path, capsys):
+    """The inert path promise: observing a run must not change it."""
+    import numpy as np
+
+    plain = tmp_path / "plain.npz"
+    observed = tmp_path / "observed.npz"
+    base = ["--preset", "tiny", "--suite", "BMW", "--no-ga"]
+    assert main(["characterize", str(plain)] + base) == 0
+    assert (
+        main(
+            ["characterize", str(observed)]
+            + base
+            + [
+                "--run-report",
+                str(tmp_path / "run.json"),
+                "--telemetry",
+                str(tmp_path / "events.jsonl"),
+                "--history-dir",
+                str(tmp_path / "history"),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    with np.load(plain, allow_pickle=True) as a, np.load(
+        observed, allow_pickle=True
+    ) as b:
+        assert set(a.files) == set(b.files)
+        for key in a.files:
+            assert np.array_equal(a[key], b[key]), key
