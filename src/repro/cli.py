@@ -12,6 +12,8 @@ Usage (installed as ``python -m repro``)::
     python -m repro report run.json          # render a --run-report file
     python -m repro watch events.jsonl       # follow a live event log
     python -m repro runs list                # browse the run-history store
+    python -m repro serve state/             # characterization-as-a-service
+    python -m repro work state/              # drain the service job queue
 
 Every command prints plain text; figure pages are SVG files.
 ``--verbose`` raises the library log level (INFO on stderr) instead of
@@ -42,14 +44,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from . import obs
 from .config import AnalysisConfig
-from .core import (
-    build_dataset,
-    dataset_arrays,
-    dataset_from_arrays,
-    load_characterization,
-    run_characterization,
-    save_characterization,
-)
+from .core import characterize_to_file, load_characterization
 from .io import format_table
 from .mica import FEATURES
 from .suites import SUITE_ORDER, all_benchmarks, all_suites, get_suite
@@ -135,16 +130,12 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     )
     if config.streaming:
         return _characterize_streaming(args, config, benches, feature_cache, run_id)
-    # Stage-level crash safety: dataset -> analysis -> GA each land
-    # atomically in <output>.stages/ as they complete.  With --resume
-    # (the default) a re-run of a killed invocation picks up from the
-    # last finished stage; --no-resume recomputes every stage but still
-    # writes checkpoints, so the *next* run can resume.
-    from .io import StageCheckpoint
-
-    stage_root = Path(f"{args.output}.stages")
-    run_key = f"{_suite_tag(args.suite)}_{config.full_key()}"
-    checkpoint = StageCheckpoint(stage_root, run_key, resume=args.resume)
+    # Stage-level crash safety lives in characterize_to_file: dataset ->
+    # analysis -> GA each land atomically in <output>.stages/ as they
+    # complete.  With --resume (the default) a re-run of a killed
+    # invocation picks up from the last finished stage; --no-resume
+    # recomputes every stage but still writes checkpoints, so the
+    # *next* run can resume.  Service workers share this exact path.
     print(f"characterizing {len(benches)} benchmarks at preset {args.preset!r}...")
     # Telemetry collection turns on for --run-report, --telemetry, or
     # --history-dir; with none of the three the obs layer stays a
@@ -154,21 +145,16 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
     ok = False
     try:
         with context as observation:
-            with obs.span("characterize", preset=args.preset, benchmarks=len(benches)):
-                loaded = checkpoint.load(
-                    "dataset",
-                    require_arrays=("features", "suites", "benchmarks", "interval_indices"),
-                )
-                if loaded is not None:
-                    dataset = dataset_from_arrays(loaded[0])
-                    print(f"resumed dataset stage from {checkpoint.path('dataset')}")
-                else:
-                    dataset = build_dataset(benches, config, feature_cache=feature_cache)
-                    checkpoint.save("dataset", dataset_arrays(dataset))
-                result = run_characterization(
-                    dataset, config, select_key=not args.no_ga, checkpoint=checkpoint
-                )
-        save_characterization(result, args.output)
+            result = characterize_to_file(
+                benches,
+                config,
+                args.output,
+                suite_tag=_suite_tag(args.suite),
+                resume=args.resume,
+                select_key=not args.no_ga,
+                feature_cache=feature_cache,
+                span_attrs={"preset": args.preset},
+            )
         _finish_telemetry(args, config, observation)
         ok = True
     finally:
@@ -176,6 +162,7 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
             if observation is not None:
                 bus.emit_metric_deltas(observation.metrics)
             bus.close(ok=ok)
+    dataset = result.dataset
     print(
         f"saved {args.output}: {len(dataset)} intervals, "
         f"{result.n_components} components "
@@ -322,6 +309,39 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def _cmd_watch(args: argparse.Namespace) -> int:
     return obs.watch(args.events, once=args.once, interval=args.interval)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    obs.configure_logging(
+        level="info" if args.verbose else "warning",
+        json_format=args.log_json,
+    )
+    return serve(
+        args.root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        default_preset=args.preset,
+        poll_interval=args.poll_interval,
+    )
+
+
+def _cmd_work(args: argparse.Namespace) -> int:
+    from .service import run_worker
+
+    obs.configure_logging(
+        level="info" if args.verbose else "warning",
+        json_format=args.log_json,
+    )
+    return run_worker(
+        args.root,
+        name=args.name,
+        once=args.once,
+        poll_interval=args.poll_interval,
+        lease_timeout=args.lease_timeout,
+    )
 
 
 def _iso(ts) -> str:
@@ -736,6 +756,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh period (default 1s)",
     )
     p.set_defaults(func=_cmd_watch)
+
+    p = sub.add_parser(
+        "serve", help="run the characterization service (HTTP API + workers)"
+    )
+    p.add_argument("root", help="service state directory (queue, jobs, artifacts)")
+    p.add_argument("--host", default="127.0.0.1", help="bind address")
+    p.add_argument(
+        "--port", type=int, default=8760, help="bind port (0 = ephemeral)"
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes to spawn alongside the API (0 = API only; "
+        "run workers elsewhere with 'repro work ROOT')",
+    )
+    p.add_argument(
+        "--preset",
+        default="tiny",
+        help="default preset for submissions that omit one (paper | small | tiny)",
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="worker queue poll period when idle",
+    )
+    p.add_argument("--verbose", action="store_true", help="INFO-level logs on stderr")
+    p.add_argument(
+        "--log-json", action="store_true", help="JSON log lines instead of console text"
+    )
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("work", help="drain the service job queue in this process")
+    p.add_argument("root", help="service state directory (same as 'repro serve')")
+    p.add_argument("--name", default=None, help="worker name (default: w<pid>)")
+    p.add_argument(
+        "--once",
+        action="store_true",
+        help="drain until the queue is empty, then exit (instead of polling forever)",
+    )
+    p.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="queue poll period when idle",
+    )
+    p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="age after which a running job with an unverifiable owner "
+        "is reclaimed",
+    )
+    p.add_argument("--verbose", action="store_true", help="INFO-level logs on stderr")
+    p.add_argument(
+        "--log-json", action="store_true", help="JSON log lines instead of console text"
+    )
+    p.set_defaults(func=_cmd_work)
 
     p = sub.add_parser("runs", help="query the run-history store")
     runs_sub = p.add_subparsers(dest="runs_command", required=True)

@@ -8,7 +8,11 @@ from .dataset import (
     build_sampling_plan,
     iter_feature_batches,
 )
-from .pipeline import PhaseCharacterization, run_characterization
+from .pipeline import (
+    PhaseCharacterization,
+    characterize_to_file,
+    run_characterization,
+)
 from .prominent import ProminentPhases, select_prominent_phases
 from .results import (
     dataset_arrays,
@@ -28,6 +32,7 @@ __all__ = [
     "WorkloadDataset",
     "build_dataset",
     "build_sampling_plan",
+    "characterize_to_file",
     "iter_feature_batches",
     "dataset_arrays",
     "dataset_from_arrays",

@@ -16,12 +16,15 @@ Steps 1-2 are performed by :func:`repro.core.dataset.build_dataset`;
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
 if TYPE_CHECKING:  # import-time cycle: repro.io.cache imports repro.core
     from ..io.artifacts import StageCheckpoint
+    from ..io.feature_blocks import FeatureBlockCache
+    from ..suites import Benchmark
 
 from ..config import AnalysisConfig
 from ..ga import DistanceCorrelationFitness, GAResult, select_features
@@ -29,10 +32,12 @@ from ..mica import N_FEATURES, feature_names
 from ..obs import emit_progress, get_logger, metrics, span
 from ..stats import Clustering, fit_pca, kmeans
 from ..synth.rng import generator
-from .dataset import WorkloadDataset
+from .dataset import WorkloadDataset, build_dataset
 from .prominent import ProminentPhases, select_prominent_phases
 
 log = get_logger(__name__)
+
+PathLike = Union[str, Path]
 
 
 @dataclass
@@ -277,3 +282,69 @@ def run_characterization(
         key_characteristics=key_names,
         ga_result=ga_result,
     )
+
+
+#: Arrays the dataset stage checkpoint must carry to be resumable.
+DATASET_STAGE_ARRAYS = ("features", "suites", "benchmarks", "interval_indices")
+
+
+def characterize_to_file(
+    benchmarks: Sequence["Benchmark"],
+    config: AnalysisConfig,
+    output: PathLike,
+    *,
+    suite_tag: str = "all",
+    resume: bool = True,
+    select_key: bool = True,
+    feature_cache: Optional["FeatureBlockCache"] = None,
+    span_attrs: Optional[Dict[str, Any]] = None,
+) -> PhaseCharacterization:
+    """Run the whole pipeline crash-safely and save the result to ``output``.
+
+    The stage-orchestration shape every entry point shares — the
+    ``characterize`` CLI and the service workers both call this.  Each
+    completed stage (dataset → analysis → GA) lands atomically in
+    ``<output>.stages/`` keyed by ``suite_tag`` + the config's full
+    key; with ``resume`` (the default) a re-run of a killed invocation
+    — by the same process, a retry, or *a different worker* — picks up
+    from the last finished stage, bit-identically, because every stage
+    draws from its own seeded RNG stream.
+
+    Args:
+        benchmarks: the workloads to characterize.
+        config: methodology + execution parameters.
+        output: destination ``.npz``; written atomically at the end.
+        suite_tag: encodes the benchmark selection into the stage key
+            so checkpoints from a different selection never resume.
+        resume: load completed stage checkpoints instead of recomputing
+            (checkpoints are written either way).
+        select_key: run the GA key-characteristic stage.
+        feature_cache: optional per-benchmark feature-block cache.
+        span_attrs: extra attributes for the root ``characterize`` span
+            (the CLI passes the preset name; workers pass the job id).
+
+    Returns:
+        The complete :class:`PhaseCharacterization` (also saved to
+        ``output``).
+    """
+    # Lazy imports: results/artifacts both import back into repro.core
+    # and repro.obs at module scope.
+    from ..io.artifacts import StageCheckpoint
+    from .results import dataset_arrays, dataset_from_arrays, save_characterization
+
+    stage_root = Path(f"{output}.stages")
+    run_key = f"{suite_tag}_{config.full_key()}"
+    checkpoint = StageCheckpoint(stage_root, run_key, resume=resume)
+    with span("characterize", benchmarks=len(benchmarks), **(span_attrs or {})):
+        loaded = checkpoint.load("dataset", require_arrays=DATASET_STAGE_ARRAYS)
+        if loaded is not None:
+            dataset = dataset_from_arrays(loaded[0])
+            log.info("resumed dataset stage from %s", checkpoint.path("dataset"))
+        else:
+            dataset = build_dataset(benchmarks, config, feature_cache=feature_cache)
+            checkpoint.save("dataset", dataset_arrays(dataset))
+        result = run_characterization(
+            dataset, config, select_key=select_key, checkpoint=checkpoint
+        )
+    save_characterization(result, output)
+    return result

@@ -20,6 +20,7 @@ from .cache import (
     feature_block_dir,
 )
 from .feature_blocks import FeatureBlockCache
+from .records import RECORD_SCHEMA_VERSION, RecordLog, canonical_digest, write_json_atomic
 from .spool import FeatureSpool, SpoolWriter
 from .tables import format_table
 
@@ -29,11 +30,14 @@ __all__ = [
     "FeatureBlockCache",
     "FeatureSpool",
     "LockTimeout",
+    "RECORD_SCHEMA_VERSION",
+    "RecordLog",
     "SchemaMismatch",
     "SpoolWriter",
     "StageCheckpoint",
     "artifact_lock",
     "cached_characterization",
+    "canonical_digest",
     "cached_dataset",
     "characterization_cache_path",
     "dataset_cache_path",
@@ -43,4 +47,5 @@ __all__ = [
     "quarantine",
     "read_artifact",
     "write_artifact",
+    "write_json_atomic",
 ]

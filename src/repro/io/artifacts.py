@@ -388,10 +388,37 @@ class _PidFileLock:
     considered stale — and taken over, bumping the
     ``artifact_cache.stale_locks`` counter — when its recorded owner
     pid is dead on this host, or the file has not been touched for
-    ``stale_after`` seconds.  Takeover is best-effort: in a pathological
-    schedule two stealers can briefly both proceed, which single-flight
-    degrades to double work, never to corruption (writes stay atomic).
+    ``stale_after`` seconds.
+
+    Takeover discipline (the unlink + re-create scheme this replaces
+    let *every* waiter that had judged the lock stale proceed, so two
+    stealers both "won" and single-flight silently became N-flight):
+
+    1. A stealer never unlinks the lock file.  It writes its own stamp
+       to a sibling temp file, re-reads the lock immediately before
+       publishing, requires the content to still be the exact stale
+       stamp it judged, and takes over with one atomic ``os.replace``.
+       A rival that won first has already changed the content, so the
+       re-read aborts the steal.
+    2. Every acquisition — clean create or takeover — is confirmed by
+       read-back: after a short settle, the lock must still hold *our*
+       uniquely-nonced stamp.  If a rival replaced it in the remaining
+       re-read→replace window, exactly one of us reads back its own
+       stamp (the last replace wins); the loser bumps
+       ``artifact_cache.lock_steal_races`` and goes back to waiting.
+    3. Release only unlinks the file while it still holds our stamp, so
+       a holder that lost a (mis)takeover never deletes the new owner's
+       lock out from under it.
+
+    With only create/read/replace primitives a perfect mutex is not
+    constructible (that is what ``flock`` is for); the read-back makes
+    the double-holder schedule require two context switches inside a
+    millisecond-scale window instead of any interleaving at all, and a
+    lost race is detected rather than silent.
     """
+
+    #: Seconds to let rival replaces land before trusting the read-back.
+    _SETTLE = 0.005
 
     def __init__(self, lock_path: Path, timeout: float, poll: float, stale_after: float):
         self.lock_path = lock_path
@@ -399,39 +426,61 @@ class _PidFileLock:
         self.poll = poll
         self.stale_after = stale_after
         self._held = False
+        self._stamp: Optional[Dict[str, Any]] = None
+
+    def _read_owner(self) -> Optional[Dict[str, Any]]:
+        """The lock file's current stamp, ``{}`` if unparseable, None if gone."""
+        try:
+            raw = self.lock_path.read_text()
+        except OSError:
+            return None
+        try:
+            owner = json.loads(raw) if raw.strip() else {}
+        except ValueError:
+            owner = {}
+        return owner if isinstance(owner, dict) else {}
 
     def acquire(self) -> None:
         deadline = time.monotonic() + self.timeout
         waited = False
         while True:
+            self._stamp = dict(
+                _owner_stamp(), nonce=f"{os.getpid()}.{time.monotonic_ns()}"
+            )
+            acquired = False
             try:
                 fd = os.open(self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
             except FileExistsError:
-                if self._steal_if_stale():
-                    continue
-                if not waited:
-                    waited = True
-                    metrics().counter_add("artifact_cache.lock_waits", 1)
-                    log.info("waiting for lock %s", self.lock_path)
-                if time.monotonic() >= deadline:
-                    raise LockTimeout(
-                        f"{self.lock_path}: lock not acquired within {self.timeout:.0f}s"
-                    )
-                time.sleep(self.poll)
-                continue
-            with os.fdopen(fd, "w") as handle:
-                json.dump(_owner_stamp(), handle)
-            self._held = True
-            return
+                acquired = self._steal_if_stale()
+            else:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(self._stamp, handle)
+                acquired = True
+            if acquired:
+                time.sleep(self._SETTLE)
+                if self._read_owner() == self._stamp:
+                    self._held = True
+                    return
+                metrics().counter_add("artifact_cache.lock_steal_races", 1)
+                log.warning(
+                    "lost %s to a concurrent takeover after acquiring; backing off",
+                    self.lock_path,
+                )
+            if not waited:
+                waited = True
+                metrics().counter_add("artifact_cache.lock_waits", 1)
+                log.info("waiting for lock %s", self.lock_path)
+            if time.monotonic() >= deadline:
+                raise LockTimeout(
+                    f"{self.lock_path}: lock not acquired within {self.timeout:.0f}s"
+                )
+            time.sleep(self.poll)
 
     def _steal_if_stale(self) -> bool:
-        try:
-            raw = self.lock_path.read_text()
-            owner = json.loads(raw) if raw.strip() else {}
-        except (OSError, ValueError):
-            owner = {}
-        if not isinstance(owner, dict):
-            owner = {}
+        """Try to take over a stale lock; True means "probably ours now"."""
+        owner = self._read_owner()
+        if owner is None:
+            return False  # vanished underneath us; retry the create path
         stale = False
         pid = owner.get("pid")
         if pid is not None and owner.get("host") == socket.gethostname():
@@ -440,14 +489,33 @@ class _PidFileLock:
             try:
                 age = time.time() - self.lock_path.stat().st_mtime
             except OSError:
-                return True  # vanished underneath us; retry the create
+                return False  # vanished; retry the create path
             stale = age > self.stale_after
         if not stale:
             return False
+        fd, tmp = tempfile.mkstemp(
+            dir=str(self.lock_path.parent), prefix=self.lock_path.name + ".", suffix=".steal"
+        )
         try:
-            os.unlink(self.lock_path)
-        except OSError:
-            pass
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self._stamp, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            # Last-moment re-read: only replace while the lock still
+            # carries the stale stamp we decided on.  A rival stealer
+            # (or a fresh legitimate holder) has already changed it.
+            if self._read_owner() != owner:
+                return False
+            os.replace(tmp, self.lock_path)
+            tmp = None
+        except OSError:  # pragma: no cover - fs error mid-steal
+            return False
+        finally:
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:  # pragma: no cover - already gone
+                    pass
         metrics().counter_add("artifact_cache.stale_locks", 1)
         log.warning("took over stale lock %s (owner %s)", self.lock_path, owner)
         return True
@@ -455,11 +523,19 @@ class _PidFileLock:
     def release(self) -> None:
         if not self._held:
             return
+        self._held = False
+        owner = self._read_owner()
+        if owner != self._stamp:
+            log.warning(
+                "lock %s no longer ours at release (taken over as stale?); "
+                "leaving it to its new owner",
+                self.lock_path,
+            )
+            return
         try:
             os.unlink(self.lock_path)
         except OSError:  # pragma: no cover - already stolen or cleaned
             pass
-        self._held = False
 
 
 @contextmanager

@@ -67,12 +67,44 @@ ENV_HISTORY_DIR = "REPRO_HISTORY_DIR"
 _KINDS = {"run": "runs", "bench": "bench"}
 
 
+#: Cached headless fallback: one temp dir per process, not per call,
+#: so every record of the run lands in the same store.
+_FALLBACK_HISTORY_DIR: Optional[Path] = None
+
+
 def default_history_dir() -> Path:
-    """``$REPRO_HISTORY_DIR`` when set, else ``~/.repro/history``."""
+    """``$REPRO_HISTORY_DIR`` when set, else ``~/.repro/history``.
+
+    Headless environments (CI containers, service workers dropped into
+    a scrubbed env) may have no usable home: ``$HOME`` unset or
+    pointing nowhere makes ``Path.home()`` raise or yield an unwritable
+    root.  Rather than crash the run at the *history append* — the very
+    last step — fall back to a per-process temporary directory and say
+    so once at WARNING, so the records still land somewhere inspectable.
+    """
     env = os.environ.get(ENV_HISTORY_DIR)
     if env:
         return Path(env)
-    return Path.home() / ".repro" / "history"
+    try:
+        home = Path.home()
+        if str(home) and home.is_dir():
+            return home / ".repro" / "history"
+    except (RuntimeError, OSError):
+        pass
+    global _FALLBACK_HISTORY_DIR
+    if _FALLBACK_HISTORY_DIR is None:
+        _FALLBACK_HISTORY_DIR = Path(tempfile.mkdtemp(prefix="repro-history-"))
+        # Lazy import: repro.obs.log is a sibling; binding at call time
+        # keeps this module import-order agnostic.
+        from .log import get_logger
+
+        get_logger(__name__).warning(
+            "no usable home directory ($HOME unset or missing); recording "
+            "run history in temporary %s — set %s for a durable store",
+            _FALLBACK_HISTORY_DIR,
+            ENV_HISTORY_DIR,
+        )
+    return _FALLBACK_HISTORY_DIR
 
 
 def _canonical(record: Any) -> str:

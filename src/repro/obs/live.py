@@ -47,6 +47,7 @@ def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
         "ok": None,
         "command": None,
         "preset": None,
+        "pid": None,  # writer pid from run.start, when recorded
         "events": len(events),
         "progress": {},  # stage -> latest progress fields
         "heartbeat": None,  # latest heartbeat fields
@@ -66,6 +67,8 @@ def summarize_events(events: List[Dict[str, Any]]) -> Dict[str, Any]:
             state["started"] = ts
             state["command"] = event.get("command")
             state["preset"] = event.get("preset")
+            if isinstance(event.get("pid"), int):
+                state["pid"] = event["pid"]
         elif etype == "run.end":
             state["ended"] = ts
             state["ok"] = event.get("ok")
@@ -153,6 +156,21 @@ def render_live(state: Dict[str, Any], *, truncated: bool = False) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _writer_alive(pid: int) -> bool:
+    """Whether the event-log writer's pid still exists on this host."""
+    import os
+
+    try:
+        os.kill(int(pid), 0)
+    except (ProcessLookupError, ValueError, TypeError):
+        return False
+    except PermissionError:  # pragma: no cover - pid owned by another user
+        return True
+    except OSError:  # pragma: no cover - conservative default
+        return True
+    return True
+
+
 def watch(
     path: PathLike,
     *,
@@ -163,9 +181,15 @@ def watch(
 ) -> int:
     """Follow an event log, printing a snapshot per refresh.
 
-    Returns once the log carries ``run.end`` (exit 0), immediately
-    after one snapshot with ``once=True``, or when the log has not
-    grown for 10 refresh intervals (exit 1: writer presumed dead).
+    Returns once the log carries ``run.end`` (exit 0) or immediately
+    after one snapshot with ``once=True``.  A log that has not grown
+    for 10 refresh intervals only ends the watch (exit 1: writer
+    presumed dead) when the writer is *provably* gone — its ``run.start``
+    recorded no pid, or that pid no longer exists.  A quiet log whose
+    writer pid is still alive is a slow stage (a long k-means pass, a
+    starved worker), not a dead run, and the watch keeps following —
+    this used to give up at 10 quiet polls unconditionally and abandon
+    live runs mid-flight.
     """
     stale = 0
     last_count = -1
@@ -178,8 +202,24 @@ def watch(
         if len(events) == last_count:
             stale += 1
             if stale >= 10:
-                echo(f"no new events for {10 * interval:.0f}s; giving up")
-                return 1
+                pid = state.get("pid")
+                if pid is not None and _writer_alive(pid):
+                    echo(
+                        f"no new events for {stale * interval:.0f}s; "
+                        f"writer pid {pid} still alive, waiting"
+                    )
+                    stale = 0
+                else:
+                    reason = (
+                        f"writer pid {pid} is gone"
+                        if pid is not None
+                        else "no writer pid recorded"
+                    )
+                    echo(
+                        f"no new events for {stale * interval:.0f}s "
+                        f"and {reason}; giving up"
+                    )
+                    return 1
         else:
             stale = 0
         last_count = len(events)

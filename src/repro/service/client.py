@@ -1,0 +1,128 @@
+"""A stdlib (urllib) client for the characterization service.
+
+Used by the tests, the CI ``service-smoke`` job, and scripts; also a
+worked example of the wire protocol for anyone writing their own.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """An HTTP-level failure; carries the status and decoded body."""
+
+    def __init__(self, status: int, body: Any) -> None:
+        message = body.get("error") if isinstance(body, dict) else str(body)
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.body = body
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` endpoint."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+        *,
+        raw: bool = False,
+    ) -> Any:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(
+            self.base_url + path, data=body, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                data = response.read()
+        except HTTPError as exc:
+            data = exc.read()
+            try:
+                decoded = json.loads(data.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                decoded = data.decode("utf-8", "replace")
+            raise ServiceError(exc.code, decoded) from None
+        except URLError as exc:
+            raise ServiceError(0, f"cannot reach {self.base_url}: {exc.reason}") from None
+        if raw:
+            return data
+        return json.loads(data.decode("utf-8"))
+
+    # -- endpoints ---------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/health")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def submit(
+        self,
+        *,
+        suites: Optional[List[str]] = None,
+        preset: Optional[str] = None,
+        config: Optional[Dict[str, Any]] = None,
+        priority: int = 0,
+    ) -> Dict[str, Any]:
+        """Submit a job; returns ``{"deduped": bool, "job": {...}}``."""
+        payload: Dict[str, Any] = {"priority": priority}
+        if suites is not None:
+            payload["suites"] = suites
+        if preset is not None:
+            payload["preset"] = preset
+        if config is not None:
+            payload["config"] = config
+        return self._request("POST", "/jobs", payload)
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def progress(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/progress")
+
+    def events(self, job_id: str, *, attempt: Optional[int] = None) -> bytes:
+        path = f"/jobs/{job_id}/events"
+        if attempt is not None:
+            path += f"?attempt={attempt}"
+        return self._request("GET", path, raw=True)
+
+    def report(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}/report")
+
+    def artifact(self, job_id: str) -> bytes:
+        return self._request("GET", f"/jobs/{job_id}/artifact", raw=True)
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(
+        self, job_id: str, *, timeout: float = 300.0, poll: float = 0.25
+    ) -> Dict[str, Any]:
+        """Poll until the job is done or failed; returns its final doc."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.job(job_id)
+            if doc.get("state") in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {doc.get('state')!r} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -113,12 +113,74 @@ def test_watch_returns_when_the_run_ends(tmp_path):
 
 
 def test_watch_gives_up_on_a_stale_log(tmp_path):
+    # No pid in the log (legacy writer): quiet polls are the only
+    # liveness signal, so the watch still gives up after 10 of them.
     path = tmp_path / "events.jsonl"
     bus = EventBus(JsonlSink(path), "r4")
     bus.emit("tick")
     frames = []
     assert watch(path, echo=frames.append, sleep=lambda _s: None) == 1
     assert "giving up" in frames[-1]
+    bus.close()
+
+
+def test_summarize_captures_writer_pid():
+    import os
+
+    handle = io.StringIO()
+    bus = EventBus(JsonlSink(handle), "rp")
+    bus.start(command="characterize", pid=os.getpid())
+    bus.close(ok=True)
+    events = [json.loads(line) for line in handle.getvalue().splitlines()]
+    assert summarize_events(events)["pid"] == os.getpid()
+
+
+def test_watch_keeps_following_a_slow_writer_that_is_alive(tmp_path):
+    """A quiet log whose writer pid is alive must not end the watch.
+
+    Regression: the watcher used to give up unconditionally after 10
+    quiet polls, abandoning live runs inside any stage slower than
+    10 refresh intervals.  Here the writer (this process) stays silent
+    for 25 polls — well past the old give-up point — then finishes the
+    run; the watch must ride it out and exit 0 on ``run.end``.
+    """
+    import os
+
+    path = tmp_path / "events.jsonl"
+    bus = EventBus(JsonlSink(path), "r5")
+    bus.start(command="characterize", pid=os.getpid())
+    frames = []
+    polls = [0]
+
+    def fake_sleep(_seconds):
+        polls[0] += 1
+        if polls[0] == 25:
+            bus.close(ok=True)  # the slow stage finally ends
+
+    assert watch(path, echo=frames.append, sleep=fake_sleep) == 0
+    assert polls[0] >= 25
+    assert "finished ok" in frames[-1]
+    assert any("still alive, waiting" in f for f in frames)
+
+
+def test_watch_gives_up_when_the_writer_pid_is_dead(tmp_path):
+    import subprocess
+    import sys
+
+    gone = int(
+        subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+        ).stdout.strip()
+    )
+    path = tmp_path / "events.jsonl"
+    bus = EventBus(JsonlSink(path), "r6")
+    bus.start(command="characterize", pid=gone)
+    frames = []
+    assert watch(path, echo=frames.append, sleep=lambda _s: None) == 1
+    assert "giving up" in frames[-1]
+    assert f"writer pid {gone} is gone" in frames[-1]
     bus.close()
 
 

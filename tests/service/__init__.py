@@ -1,0 +1,1 @@
+"""Tests for the characterization service (queue, workers, HTTP API)."""

@@ -476,3 +476,45 @@ def test_telemetry_flags_leave_results_bit_identical(tmp_path, capsys):
         assert set(a.files) == set(b.files)
         for key in a.files:
             assert np.array_equal(a[key], b[key]), key
+
+
+def test_work_once_on_an_empty_queue_exits_cleanly(tmp_path, capsys):
+    assert main(["work", str(tmp_path / "svc"), "--once"]) == 0
+
+
+def test_work_once_drains_a_submitted_job(tmp_path, capsys):
+    from repro.config import AnalysisConfig
+    from repro.service import JobQueue
+
+    root = tmp_path / "svc"
+    queue = JobQueue(root)
+    view, _ = queue.submit(suites=["BMW"], config=AnalysisConfig.tiny())
+    assert main(["work", str(root), "--once", "--name", "cli-w"]) == 0
+    capsys.readouterr()
+    done = JobQueue(root).get(view.job_id)
+    assert done.state == "done"
+    assert done.result["sha256"]
+
+
+def test_serve_parser_accepts_the_documented_flags():
+    # Parser wiring only: serve itself blocks forever, so stop at parse.
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "/tmp/svc", "--port", "0", "--workers", "2", "--preset", "tiny"]
+    )
+    assert args.command == "serve"
+    assert args.workers == 2
+    assert args.port == 0
+
+
+def test_characterize_resumes_from_stage_checkpoints(tmp_path, capsys):
+    """A second identical run reuses stage checkpoints instead of rebuilding."""
+    out = tmp_path / "c.npz"
+    base = ["characterize", str(out), "--preset", "tiny", "--suite", "BMW", "--no-ga"]
+    assert main(base) == 0
+    first = out.read_bytes()
+    assert (out.parent / (out.name + ".stages")).is_dir()
+    assert main(base) == 0
+    capsys.readouterr()
+    assert out.read_bytes() == first
